@@ -1,0 +1,61 @@
+"""Client-churn bench: completeness and fairness under dynamic arrival.
+
+Beyond the paper (which registers all profiles up front): clients joining
+throughout the epoch lose the t-intervals that elapsed before arrival,
+lowering both delivered completeness and cross-client fairness (late
+joiners do systematically worse). Leavers convert pending work into
+drops without hurting the rest.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ChurnConfig, run_churn
+from repro.experiments.reporting import render_table
+
+from benchmarks.conftest import print_block
+
+
+def bench_churn_arrival_spread(benchmark, capsys):
+    spreads = [0.0, 0.2, 0.4, 0.6, 0.8]
+
+    def run_sweep():
+        rows = []
+        for spread in spreads:
+            result = run_churn(ChurnConfig(join_spread=spread))
+            rows.append([spread, result.overall_completeness,
+                         result.fairness, result.completed,
+                         result.expired])
+        return rows
+
+    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_block(capsys, render_table(
+        ["join spread", "completeness", "fairness (Jain)", "completed",
+         "expired"], rows,
+        title="Churn — arrival spread vs delivered completeness"))
+
+    completeness = [row[1] for row in rows]
+    # Later arrival spread strictly costs completeness overall.
+    assert completeness[0] > completeness[-1]
+    # Fairness degrades as later joiners do worse.
+    assert rows[0][2] >= rows[-1][2] - 0.02
+
+
+def bench_churn_leavers(benchmark, capsys):
+    def run_pair():
+        stay = run_churn(ChurnConfig(join_spread=0.4))
+        churn = run_churn(ChurnConfig(join_spread=0.4,
+                                      leave_probability=0.5))
+        return stay, churn
+
+    stay, churn = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    print_block(capsys, render_table(
+        ["scenario", "completeness", "completed", "expired", "dropped"],
+        [["no leavers", stay.overall_completeness, stay.completed,
+          stay.expired, stay.dropped],
+         ["50% leave at 3/4", churn.overall_completeness,
+          churn.completed, churn.expired, churn.dropped]],
+        title="Churn — leavers"))
+    assert churn.dropped > 0
+    assert stay.dropped == 0

@@ -1,0 +1,45 @@
+"""Figure 3: policy comparison on the (synthetic) eBay auction trace.
+
+Paper setting: AuctionWatch(3), 400 auctions, window W = 20, budget C = 2.
+Expected shape (paper §5.2): the t-interval-aware policies MRSF(P) and
+M-EDF(P) beat S-EDF, and preemption helps the rank/multi-EI policies, with
+up to ~20% gap between (P) and (NP) variants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure3
+from repro.experiments.figures import ALL_POLICY_VARIANTS
+from repro.experiments.reporting import render_table
+
+from benchmarks.conftest import print_block
+
+
+@pytest.fixture(scope="module")
+def fig3(bench_scale):
+    return figure3(bench_scale)
+
+
+def bench_fig3_auction_trace(benchmark, bench_scale, fig3, capsys):
+    benchmark.pedantic(lambda: figure3("smoke"), rounds=1, iterations=1)
+
+    rows = [[label, fig3.outcomes[label].mean_gc,
+             fig3.outcomes[label].stdev_gc]
+            for label in ALL_POLICY_VARIANTS]
+    print_block(capsys, render_table(
+        ["policy", "mean GC", "stdev"], rows,
+        title="Figure 3 — eBay-like trace, AuctionWatch(3), W=20, C=2"))
+
+    gc = {label: fig3.mean_gc(label) for label in ALL_POLICY_VARIANTS}
+    if bench_scale == "smoke":
+        return  # too noisy for shape assertions
+    # MRSF(P)/M-EDF(P) beat both S-EDF variants.
+    assert gc["MRSF(P)"] > gc["S-EDF(NP)"]
+    assert gc["M-EDF(P)"] > gc["S-EDF(NP)"]
+    assert gc["M-EDF(P)"] >= gc["S-EDF(P)"] - 0.02
+    assert gc["MRSF(P)"] >= gc["S-EDF(P)"] - 0.02
+    # Preemption helps the t-interval-aware policies.
+    assert gc["MRSF(P)"] >= gc["MRSF(NP)"]
+    assert gc["M-EDF(P)"] >= gc["M-EDF(NP)"]

@@ -1,0 +1,46 @@
+"""Figure 4: online policies vs the offline approximation over rank(P).
+
+Paper setting: W = 0 and C = 1 (``P^[1]`` instances). Expected shape
+(paper §5.3): gained completeness decreases with rank; at rank 1 the
+online policies are optimal; MRSF(P) beats the offline approximation
+(paper: by 11-23%); S-EDF(NP) falls below the offline approximation for
+rank > 2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import OFFLINE_LABEL, figure4
+from repro.experiments.reporting import sweep_table
+
+from benchmarks.conftest import print_block
+
+
+@pytest.fixture(scope="module")
+def fig4(bench_scale):
+    return figure4(bench_scale)
+
+
+def bench_fig4_rank_sweep(benchmark, bench_scale, fig4, capsys):
+    benchmark.pedantic(lambda: figure4("smoke"), rounds=1, iterations=1)
+
+    print_block(capsys, sweep_table(fig4))
+
+    if bench_scale == "smoke":
+        return
+    mrsf = fig4.series("MRSF(P)")
+    sedf = fig4.series("S-EDF(NP)")
+    offline = fig4.series(OFFLINE_LABEL)
+
+    # GC decreases with rank.
+    assert mrsf[0] > mrsf[-1]
+    # Rank 1: the online policies coincide (per-chronon optimal).
+    assert abs(mrsf[0] - sedf[0]) < 1e-9
+    # MRSF(P) dominates the offline approximation at every rank.
+    for rank_index in range(len(mrsf)):
+        assert mrsf[rank_index] >= offline[rank_index]
+    # S-EDF(NP) is dominated by the offline approximation for rank > 2.
+    for rank_index, rank in enumerate(fig4.x_values):
+        if rank > 2:
+            assert sedf[rank_index] <= offline[rank_index] + 0.01

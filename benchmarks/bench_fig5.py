@@ -1,0 +1,56 @@
+"""Figure 5: runtime scalability of offline vs online solutions.
+
+Expected shape (paper §5.4): the offline approximation's runtime grows
+much faster than the online policies' (superlinear vs ~linear in the
+number of profiles), making the online policies the scalable choice.
+
+Implementation note (DESIGN.md §5): our Local-Ratio implementation is more
+efficient than the paper's (single LP + incremental matching), so at small
+instance counts its absolute runtime can sit below the online policies';
+the superlinear growth — and the crossover within panel 1's sweep — is the
+reproduced claim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import OFFLINE_LABEL, figure5
+from repro.experiments.reporting import sweep_table
+
+from benchmarks.conftest import print_block
+
+
+@pytest.fixture(scope="module")
+def fig5(bench_scale):
+    return figure5(bench_scale)
+
+
+def bench_fig5_runtime_scalability(benchmark, bench_scale, fig5, capsys):
+    benchmark.pedantic(lambda: figure5("smoke"), rounds=1, iterations=1)
+
+    print_block(capsys, sweep_table(fig5.left, metric="runtime"))
+    print_block(capsys, sweep_table(fig5.right, metric="runtime"))
+    print_block(capsys, sweep_table(fig5.right, metric="gc"))
+
+    if bench_scale == "smoke":
+        return
+    offline = fig5.left.series(OFFLINE_LABEL, metric="runtime")
+    online = fig5.left.series("MRSF(P)", metric="runtime")
+
+    # Offline runtime grows superlinearly: the last/first ratio exceeds
+    # the sweep's size ratio; online grows ~linearly (within 2x slack).
+    size_ratio = fig5.left.x_values[-1] / fig5.left.x_values[0]
+    assert offline[-1] / max(offline[0], 1e-9) > size_ratio
+    assert online[-1] / max(online[0], 1e-9) < 2.5 * size_ratio
+
+    # Offline growth outpaces online growth.
+    offline_growth = offline[-1] / max(offline[0], 1e-9)
+    online_growth = online[-1] / max(online[0], 1e-9)
+    assert offline_growth > online_growth
+
+    # Panel 2: online policies stay ~linear at 2.5x intensity.
+    for label in fig5.right.labels():
+        series = fig5.right.series(label, metric="runtime")
+        assert series[-1] / max(series[0], 1e-9) < 2.5 * (
+            fig5.right.x_values[-1] / fig5.right.x_values[0])

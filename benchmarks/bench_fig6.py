@@ -1,0 +1,47 @@
+"""Figure 6: workload analysis (update intensity and profile count).
+
+Expected shape (paper §5.5): gained completeness decreases as the update
+intensity lambda grows (panel 1) and as the number of profiles grows
+(panel 2); MRSF(P) and M-EDF(P) sit clearly above both S-EDF variants,
+with MRSF(P) >= M-EDF(P) by a small margin.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure6
+from repro.experiments.reporting import sweep_table
+
+from benchmarks.conftest import print_block
+
+
+@pytest.fixture(scope="module")
+def fig6(bench_scale):
+    return figure6(bench_scale)
+
+
+def bench_fig6_workload_analysis(benchmark, bench_scale, fig6, capsys):
+    benchmark.pedantic(lambda: figure6("smoke"), rounds=1, iterations=1)
+
+    print_block(capsys, sweep_table(fig6.left))
+    print_block(capsys, sweep_table(fig6.right))
+
+    if bench_scale == "smoke":
+        return
+    for panel in (fig6.left, fig6.right):
+        for label in panel.labels():
+            series = panel.series(label)
+            # Monotone decreasing trend (small noise tolerated).
+            assert series[0] > series[-1]
+        # The t-interval-aware policies dominate S-EDF wherever the
+        # workload is budget-bound (near saturation, GC > 0.9, every
+        # policy captures almost everything and orderings are noise).
+        for index in range(len(panel.x_values)):
+            mrsf = panel.series("MRSF(P)")[index]
+            medf = panel.series("M-EDF(P)")[index]
+            sedf_np = panel.series("S-EDF(NP)")[index]
+            if sedf_np >= 0.9:
+                continue
+            assert mrsf >= sedf_np
+            assert medf >= sedf_np

@@ -1,0 +1,43 @@
+"""Figure 7: impact of user preferences (alpha and beta Zipf skews).
+
+Expected shape (paper §5.6): gained completeness increases with alpha
+(inter-user preference: popular resources concentrate demand, so
+intra-resource overlap becomes exploitable) and increases with beta
+(intra-user preference: simpler profiles are easier to satisfy).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure7
+from repro.experiments.reporting import sweep_table
+
+from benchmarks.conftest import print_block
+
+
+@pytest.fixture(scope="module")
+def fig7(bench_scale):
+    return figure7(bench_scale)
+
+
+def bench_fig7_user_preferences(benchmark, bench_scale, fig7, capsys):
+    benchmark.pedantic(lambda: figure7("smoke"), rounds=1, iterations=1)
+
+    print_block(capsys, sweep_table(fig7.left))
+    print_block(capsys, sweep_table(fig7.right))
+
+    if bench_scale == "smoke":
+        return
+    # Panel 1: GC rises with alpha for every policy.
+    for label in fig7.left.labels():
+        series = fig7.left.series(label)
+        assert series[-1] > series[0]
+    # Panel 2: GC rises with beta for every policy.
+    for label in fig7.right.labels():
+        series = fig7.right.series(label)
+        assert series[-1] > series[0]
+    # The t-interval-aware policies keep their lead at moderate skew.
+    mid = len(fig7.right.x_values) // 2
+    assert fig7.right.series("MRSF(P)")[mid] >= \
+        fig7.right.series("S-EDF(NP)")[mid]

@@ -1,0 +1,44 @@
+"""Figure 8: effect of budgetary limitations.
+
+Expected shape (paper §5.7): gained completeness rises markedly with the
+per-chronon budget C; the aggregated view of MRSF(P)/M-EDF(P) utilizes the
+budget at least as well as S-EDF at the strict C = 1 end; S-EDF(NP) shows
+sub-linear improvement compared to S-EDF(P).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure8
+from repro.experiments.reporting import sweep_table
+
+from benchmarks.conftest import print_block
+
+
+@pytest.fixture(scope="module")
+def fig8(bench_scale):
+    return figure8(bench_scale)
+
+
+def bench_fig8_budget_sweep(benchmark, bench_scale, fig8, capsys):
+    benchmark.pedantic(lambda: figure8("smoke"), rounds=1, iterations=1)
+
+    print_block(capsys, sweep_table(fig8))
+
+    if bench_scale == "smoke":
+        return
+    for label in fig8.labels():
+        series = fig8.series(label)
+        # Monotone increasing in budget.
+        for left, right in zip(series, series[1:]):
+            assert right >= left - 0.02
+        # Remarkable increase overall.
+        assert series[-1] > series[0] * 1.3
+
+    # At the strict C=1 end, the t-interval-aware policies lead.
+    assert fig8.series("MRSF(P)")[0] >= fig8.series("S-EDF(NP)")[0]
+    # S-EDF(NP) utilizes additional budget no better than S-EDF(P).
+    sedf_np_gain = fig8.series("S-EDF(NP)")[-1] - fig8.series("S-EDF(NP)")[0]
+    sedf_p_gain = fig8.series("S-EDF(P)")[-1] - fig8.series("S-EDF(P)")[0]
+    assert sedf_p_gain >= sedf_np_gain - 0.05

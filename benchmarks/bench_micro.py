@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the library's hot paths.
+
+Unlike the figure benches (one-shot sweeps), these use pytest-benchmark's
+normal repeated timing to characterize the building blocks: policy
+scoring, probe selection, the simulator loop, capture evaluation, and the
+offline matcher.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BudgetVector, Epoch, evaluate_schedule
+from repro.experiments import ExperimentConfig, make_instance
+from repro.offline import ProbeAssigner
+from repro.online import (
+    Candidate,
+    MEDFPolicy,
+    MRSFPolicy,
+    SEDFPolicy,
+    TIntervalState,
+    select_probes,
+)
+from repro.simulation import run_online
+
+_CONFIG = ExperimentConfig(
+    epoch_length=200, num_resources=50, num_profiles=60, intensity=10.0,
+    window=10, repetitions=1, grouping="overlap", seed=1234)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    return make_instance(_CONFIG, 0)
+
+
+@pytest.fixture(scope="module")
+def candidates(instance):
+    _trace, profiles = instance
+    result: list[Candidate] = []
+    for profile in profiles:
+        for eta in profile:
+            state = TIntervalState(eta, profile.rank)
+            for ei in eta:
+                if ei.active_at(50):
+                    result.append(Candidate(state, ei))
+    return result
+
+
+def bench_policy_scoring_sedf(benchmark, candidates):
+    policy = SEDFPolicy()
+    benchmark(lambda: [policy.score(c, 50) for c in candidates])
+
+
+def bench_policy_scoring_mrsf(benchmark, candidates):
+    policy = MRSFPolicy()
+    benchmark(lambda: [policy.score(c, 50) for c in candidates])
+
+
+def bench_policy_scoring_medf(benchmark, candidates):
+    policy = MEDFPolicy()
+    benchmark(lambda: [policy.score(c, 50) for c in candidates])
+
+
+def bench_select_probes(benchmark, candidates):
+    policy = MRSFPolicy()
+    benchmark(lambda: select_probes(policy, candidates, 50, 2, True))
+
+
+def bench_full_online_run(benchmark, instance):
+    _trace, profiles = instance
+    benchmark.pedantic(
+        lambda: run_online(profiles, _CONFIG.epoch,
+                           _CONFIG.budget_vector, MRSFPolicy()),
+        rounds=3, iterations=1)
+
+
+def bench_evaluate_schedule(benchmark, instance):
+    _trace, profiles = instance
+    result = run_online(profiles, _CONFIG.epoch, _CONFIG.budget_vector,
+                        MRSFPolicy())
+    benchmark(lambda: evaluate_schedule(profiles, result.schedule))
+
+
+def bench_probe_assigner(benchmark, instance):
+    _trace, profiles = instance
+    etas = list(profiles.tintervals())
+
+    def assign_all():
+        assigner = ProbeAssigner(Epoch(200), BudgetVector(1))
+        return sum(1 for eta in etas if assigner.try_add(eta))
+
+    benchmark.pedantic(assign_all, rounds=3, iterations=1)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""The paper's Figure-1 scenario: arbitrage monitoring across markets.
+
+A financial analyst watches one security on several markets. An arbitrage
+check is valid only when price observations from *all* markets refer to
+overlapping validity periods — exactly a complex profile whose t-intervals
+pair overlapping execution intervals, one per market.
+
+This example synthesizes correlated multi-market tick streams, builds the
+arbitrage profile with the overlap grouping, runs the online policies
+under a tight probing budget, and reports how many arbitrage windows were
+fully observed — including the actual price divergences captured.
+
+Run: ``python examples/arbitrage.py``
+"""
+
+from repro import (
+    BudgetVector,
+    Epoch,
+    StockMarketSynthesizer,
+    make_policy,
+    run_online,
+)
+from repro.core import ProfileSet
+from repro.workloads import AuctionWatchTemplate, WindowRestriction
+
+
+def main() -> None:
+    epoch = Epoch(500)
+    markets = 5
+    synthesizer = StockMarketSynthesizer(
+        num_markets=markets, epoch=epoch, updates_per_market=350,
+        divergence=0.006, seed=42)
+    trace = synthesizer.generate()
+    catalog = synthesizer.catalog()
+    print(f"markets: {[r.name for r in catalog]}")
+    print(f"ticks:   {len(trace)} updates over {epoch.length} chronons\n")
+
+    # Prices stay valid for only 4 chronons; an arbitrage check needs one
+    # fresh observation per market with overlapping validity. With one
+    # probe per chronon and five fast markets, the budget is scarce —
+    # the policies must triage.
+    template = AuctionWatchTemplate(WindowRestriction(4),
+                                    grouping="overlap")
+    profile = template.build_profile(list(range(markets)), trace, epoch,
+                                     name="arbitrage-watch")
+    profiles = ProfileSet([profile])
+    print(f"arbitrage windows to capture: {len(profile)} "
+          f"(rank {profile.rank})\n")
+
+    budget = BudgetVector(1)
+    results = {}
+    for name in ("S-EDF", "MRSF", "M-EDF"):
+        result = run_online(profiles, epoch, budget, make_policy(name))
+        results[name] = result
+        print(f"  {result.summary()}")
+
+    # Decode what the best policy actually saw: for every captured
+    # arbitrage window, the max price spread across markets.
+    best_name = max(results, key=lambda name: results[name].gc)
+    best = results[best_name]
+    print(f"\ncaptured arbitrage windows under {best.label}:")
+    quotes_by_market = {
+        market: [synthesizer.parse_quote(event)
+                 for event in trace.events_for(market)]
+        for market in range(markets)
+    }
+    shown = 0
+    for eta in profile:
+        if not best.schedule.captures_tinterval(eta) or shown >= 5:
+            continue
+        prices = []
+        for ei in eta:
+            # latest quote at or before the window start
+            candidates = [quote for quote in
+                          quotes_by_market[ei.resource_id]
+                          if quote.chronon <= ei.finish]
+            if candidates:
+                prices.append(candidates[-1].price)
+        if len(prices) == len(eta):
+            spread = max(prices) - min(prices)
+            print(f"  window [{eta.earliest_start},{eta.latest_finish}] "
+                  f"spread={spread:.4f} "
+                  f"({'arbitrage!' if spread > 0.5 else 'no edge'})")
+            shown += 1
+
+
+if __name__ == "__main__":
+    main()

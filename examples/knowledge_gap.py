@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""What is perfect knowledge worth? FPN(1) vs fitted predictions.
+
+The paper's experiments assume the proxy knows the real update trace
+(FPN(1)). Real proxies must *predict* updates from history. This example
+fits estimators on the first half of two very different traces — a
+clockwork feed population and a bursty Poisson one — and measures how
+much gained completeness survives when the proxy schedules against its
+own predictions but is judged against reality.
+
+Run: ``python examples/knowledge_gap.py``
+"""
+
+from repro import (
+    AdaptiveEstimator,
+    BudgetVector,
+    Epoch,
+    GeneratorConfig,
+    PeriodicUpdateModel,
+    PoissonUpdateModel,
+    evaluate_knowledge_gap,
+    make_policy,
+)
+
+
+def main() -> None:
+    epoch = Epoch(600)
+    resources = range(30)
+    train_end = 300
+
+    traces = {
+        "clockwork feeds (period 20)": PeriodicUpdateModel(
+            20, phases={r: (7 * r) % 20 for r in resources}
+        ).generate(resources, epoch),
+        "bursty sources (Poisson 20)": PoissonUpdateModel(
+            20, seed=8).generate(resources, epoch),
+    }
+
+    policy = make_policy("MRSF")
+    print(f"{'trace':<30} {'window':>6} {'perfect':>8} "
+          f"{'predicted':>10} {'lost':>7}")
+    for label, trace in traces.items():
+        for window in (5, 15):
+            config = GeneratorConfig(
+                num_profiles=50, max_rank=2, window=window,
+                grouping="indexed", seed=17)
+            gap = evaluate_knowledge_gap(
+                trace, AdaptiveEstimator(), train_end, config, epoch,
+                BudgetVector(1), policy)
+            print(f"{label:<30} {window:>6} {gap.gc_perfect:>8.3f} "
+                  f"{gap.gc_predicted:>10.3f} "
+                  f"{gap.degradation:>6.1%}")
+
+    print(
+        "\nTakeaway: the FPN(1) assumption is free for regular sources\n"
+        "and expensive for bursty ones — and wider delivery windows\n"
+        "buy back much of the prediction error."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+This offline environment lacks the ``wheel`` package, so PEP-517 editable
+installs cannot build; keeping a setup.py (and no [build-system] table in
+pyproject.toml) lets ``pip install -e .`` use the legacy setuptools
+develop path, which works without wheel.
+"""
+
+from setuptools import setup
+
+setup()

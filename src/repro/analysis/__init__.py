@@ -1,0 +1,11 @@
+"""Analysis helpers: instance statistics and policy comparisons."""
+
+from repro.analysis.compare import PolicyComparison, compare_policies
+from repro.analysis.stats import InstanceStats, compute_stats
+
+__all__ = [
+    "InstanceStats",
+    "PolicyComparison",
+    "compare_policies",
+    "compute_stats",
+]

@@ -1,0 +1,99 @@
+"""Policy comparison reports on shared instances.
+
+Runs a set of policies (and optionally the offline solvers) against the
+*same* profile set and produces a side-by-side report — the building block
+behind the per-figure experiments, exposed for ad-hoc analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.budget import BudgetVector
+from repro.core.profile import ProfileSet
+from repro.core.timeline import Epoch
+from repro.offline.local_ratio import LocalRatioApproximation
+from repro.offline.milp import MILPSolver
+from repro.online.registry import parse_policy_spec
+from repro.simulation.proxy import run_online
+from repro.simulation.result import SimulationResult
+
+__all__ = ["PolicyComparison", "compare_policies"]
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyComparison:
+    """Results of all compared strategies on one instance."""
+
+    results: dict[str, SimulationResult]
+    optimum: SimulationResult | None = None
+
+    def gc(self, label: str) -> float:
+        """Gained completeness of one strategy."""
+        return self.results[label].gc
+
+    def best_label(self) -> str:
+        """The strategy with the highest GC (ties: first by name)."""
+        return max(sorted(self.results),
+                   key=lambda label: self.results[label].gc)
+
+    def competitive_ratio(self, label: str) -> float:
+        """GC(label) / GC(optimum); requires the optimum to be present.
+
+        Raises
+        ------
+        ValueError
+            If the comparison was built without the exact optimum.
+        """
+        if self.optimum is None:
+            raise ValueError("comparison was built without the optimum; "
+                             "pass include_optimum=True")
+        if self.optimum.report.captured == 0:
+            return 1.0
+        return (self.results[label].report.captured
+                / self.optimum.report.captured)
+
+    def rows(self) -> list[list[object]]:
+        """Table rows: label, GC, probes, expired, runtime."""
+        rows = [
+            [label, result.gc, result.probes_used, result.expired,
+             result.runtime_seconds]
+            for label, result in sorted(self.results.items())
+        ]
+        if self.optimum is not None:
+            rows.append(["(optimum)", self.optimum.gc,
+                         self.optimum.probes_used, 0,
+                         self.optimum.runtime_seconds])
+        return rows
+
+
+def compare_policies(profiles: ProfileSet, epoch: Epoch,
+                     budget: BudgetVector,
+                     policy_specs: list[str],
+                     include_offline_approx: bool = False,
+                     include_optimum: bool = False) -> PolicyComparison:
+    """Run every spec on the same instance and collect results.
+
+    Parameters
+    ----------
+    policy_specs:
+        Display specs like ``"MRSF(P)"`` / ``"S-EDF(NP)"``.
+    include_offline_approx:
+        Also run the Local-Ratio approximation (labeled
+        ``"offline-approx"``).
+    include_optimum:
+        Also compute the exact MILP optimum (can be slow; intended for
+        small/medium instances).
+    """
+    results: dict[str, SimulationResult] = {}
+    for spec in policy_specs:
+        policy, preemptive = parse_policy_spec(spec)
+        results[spec] = run_online(profiles, epoch, budget, policy,
+                                   preemptive=preemptive)
+    if include_offline_approx:
+        results["offline-approx"] = LocalRatioApproximation().solve(
+            profiles, epoch, budget)
+    optimum = None
+    if include_optimum:
+        optimum = MILPSolver().solve(profiles, epoch, budget)
+    return PolicyComparison(results=results, optimum=optimum)

@@ -1,0 +1,172 @@
+"""Instance statistics: quantifying what makes a workload hard.
+
+The paper's narrative ties policy behavior to workload structure — budget
+scarcity, intra-resource overlap, profile complexity. This module computes
+those quantities for any profile set so experiments can report *why* a
+setting behaves as it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.budget import BudgetVector
+from repro.core.intervals import ExecutionInterval
+from repro.core.profile import ProfileSet
+from repro.core.timeline import Epoch
+
+__all__ = ["InstanceStats", "compute_stats"]
+
+
+@dataclass(frozen=True, slots=True)
+class InstanceStats:
+    """Structural statistics of one monitoring instance.
+
+    Attributes
+    ----------
+    num_profiles, num_tintervals, num_eis:
+        Population sizes.
+    rank:
+        ``rank(P)``.
+    mean_tinterval_size:
+        Average number of EIs per t-interval.
+    mean_ei_width:
+        Average EI window width in chronons.
+    unit_width_fraction:
+        Fraction of EIs with width 1 (1.0 for ``P^[1]``).
+    intra_resource_overlap_rate:
+        Fraction of EIs that overlap at least one other EI on the same
+        resource — the paper's exploitable sharing.
+    peak_demand:
+        Maximum, over chronons, of the number of *distinct resources*
+        carrying an active EI (an upper bound on useful probes).
+    demand_to_budget:
+        Total EI count divided by the total probing budget over the
+        epoch — a scarcity indicator (values >> 1 mean contention,
+        before accounting for sharing).
+    """
+
+    num_profiles: int
+    num_tintervals: int
+    num_eis: int
+    rank: int
+    mean_tinterval_size: float
+    mean_ei_width: float
+    unit_width_fraction: float
+    intra_resource_overlap_rate: float
+    peak_demand: int
+    demand_to_budget: float
+
+    def describe(self) -> list[tuple[str, str]]:
+        """(name, value) rows for table rendering."""
+        return [
+            ("profiles", str(self.num_profiles)),
+            ("t-intervals", str(self.num_tintervals)),
+            ("execution intervals", str(self.num_eis)),
+            ("rank(P)", str(self.rank)),
+            ("mean |eta|", f"{self.mean_tinterval_size:.2f}"),
+            ("mean EI width", f"{self.mean_ei_width:.2f}"),
+            ("unit-width fraction", f"{self.unit_width_fraction:.2f}"),
+            ("intra-resource overlap rate",
+             f"{self.intra_resource_overlap_rate:.2f}"),
+            ("peak resource demand", str(self.peak_demand)),
+            ("demand / budget", f"{self.demand_to_budget:.2f}"),
+        ]
+
+
+def compute_stats(profiles: ProfileSet, epoch: Epoch,
+                  budget: BudgetVector) -> InstanceStats:
+    """Compute :class:`InstanceStats` for an instance."""
+    eis: list[ExecutionInterval] = []
+    tinterval_sizes: list[int] = []
+    for eta in profiles.tintervals():
+        tinterval_sizes.append(eta.size)
+        eis.extend(eta.eis)
+
+    num_eis = len(eis)
+    num_tintervals = len(tinterval_sizes)
+    mean_size = (sum(tinterval_sizes) / num_tintervals
+                 if num_tintervals else 0.0)
+    mean_width = (sum(ei.width for ei in eis) / num_eis
+                  if num_eis else 0.0)
+    unit_fraction = (sum(1 for ei in eis if ei.is_unit) / num_eis
+                     if num_eis else 0.0)
+
+    overlap_rate = _overlap_rate(eis)
+    peak_demand = _peak_demand(eis, epoch)
+    total_budget = budget.total_over(epoch)
+    demand_to_budget = (num_eis / total_budget if total_budget
+                        else float("inf") if num_eis else 0.0)
+
+    return InstanceStats(
+        num_profiles=len(profiles),
+        num_tintervals=num_tintervals,
+        num_eis=num_eis,
+        rank=profiles.rank,
+        mean_tinterval_size=mean_size,
+        mean_ei_width=mean_width,
+        unit_width_fraction=unit_fraction,
+        intra_resource_overlap_rate=overlap_rate,
+        peak_demand=peak_demand,
+        demand_to_budget=demand_to_budget,
+    )
+
+
+def _overlap_rate(eis: list[ExecutionInterval]) -> float:
+    """Fraction of EIs overlapping another EI on the same resource."""
+    if not eis:
+        return 0.0
+    by_resource: dict[int, list[ExecutionInterval]] = {}
+    for ei in eis:
+        by_resource.setdefault(ei.resource_id, []).append(ei)
+    overlapping = 0
+    for group in by_resource.values():
+        group.sort(key=lambda e: (e.start, e.finish))
+        flags = [False] * len(group)
+        for index in range(len(group) - 1):
+            # Compare with successors sharing chronons.
+            for next_index in range(index + 1, len(group)):
+                if group[next_index].start > group[index].finish:
+                    break
+                flags[index] = True
+                flags[next_index] = True
+        overlapping += sum(flags)
+    return overlapping / len(eis)
+
+
+def _peak_demand(eis: list[ExecutionInterval], epoch: Epoch) -> int:
+    """Max distinct resources with an active EI at any chronon.
+
+    Sweep-line over (resource, window) events, with per-resource active
+    counts so the same resource counts once regardless of overlap depth.
+    """
+    events: list[tuple[int, int, int]] = []  # (chronon, delta, resource)
+    for ei in eis:
+        start = max(1, ei.start)
+        finish = min(epoch.last, ei.finish)
+        if start > finish:
+            continue
+        events.append((start, 1, ei.resource_id))
+        events.append((finish + 1, -1, ei.resource_id))
+    events.sort()
+    active: dict[int, int] = {}
+    distinct = 0
+    peak = 0
+    index = 0
+    while index < len(events):
+        chronon = events[index][0]
+        while index < len(events) and events[index][0] == chronon:
+            _chronon, delta, resource = events[index]
+            before = active.get(resource, 0)
+            after = before + delta
+            if before == 0 and after > 0:
+                distinct += 1
+            elif before > 0 and after == 0:
+                distinct -= 1
+            if after:
+                active[resource] = after
+            else:
+                active.pop(resource, None)
+            index += 1
+        peak = max(peak, distinct)
+    return peak

@@ -1,0 +1,152 @@
+"""Command-line entry point: ``repro-experiments``.
+
+Runs any of the paper's tables/figures and prints the series as ASCII
+tables (optionally CSV). Examples::
+
+    repro-experiments table1 --scale default
+    repro-experiments fig4 --scale paper
+    repro-experiments all --scale smoke --csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.experiments import (
+    FigurePair,
+    RunOutcome,
+    SweepResult,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table1,
+)
+from repro.experiments.reporting import render_table, sweep_csv, sweep_table
+
+__all__ = ["main"]
+
+_EXPERIMENTS: dict[str, Callable[[str], object]] = {
+    "table1": table1,
+    "fig3": figure3,
+    "fig4": figure4,
+    "fig5": figure5,
+    "fig6": figure6,
+    "fig7": figure7,
+    "fig8": figure8,
+}
+
+
+def _print_run_outcome(name: str, outcome: RunOutcome, as_csv: bool) -> None:
+    rows = [
+        [label, policy_outcome.mean_gc, policy_outcome.stdev_gc,
+         policy_outcome.mean_runtime]
+        for label, policy_outcome in outcome.outcomes.items()
+    ]
+    if as_csv:
+        print(f"# {name}")
+        print("policy,mean_gc,stdev_gc,mean_runtime_s")
+        for label, gc, stdev, runtime in rows:
+            print(f"{label},{gc:.6f},{stdev:.6f},{runtime:.6f}")
+        return
+    print(render_table(
+        ["policy", "mean GC", "stdev", "runtime (s)"], rows, title=name))
+    print()
+    print(render_table(
+        ["parameter", "value"], outcome.config.describe(),
+        title=f"{name} — configuration"))
+
+
+def _print_sweep(result: SweepResult, as_csv: bool,
+                 metrics: tuple[str, ...] = ("gc",)) -> None:
+    for metric in metrics:
+        if as_csv:
+            print(f"# {result.name} ({metric})")
+            print(sweep_csv(result, metric=metric), end="")
+        else:
+            print(sweep_table(result, metric=metric))
+            print()
+
+
+def _print_result(name: str, result: object, as_csv: bool) -> None:
+    if isinstance(result, RunOutcome):
+        _print_run_outcome(name, result, as_csv)
+    elif isinstance(result, SweepResult):
+        metrics = ("gc", "runtime") if name == "fig5" else ("gc",)
+        _print_sweep(result, as_csv, metrics=metrics)
+    elif isinstance(result, FigurePair):
+        metrics = ("runtime",) if name == "fig5" else ("gc",)
+        _print_sweep(result.left, as_csv, metrics=metrics)
+        _print_sweep(result.right, as_csv, metrics=metrics)
+    else:  # pragma: no cover - defensive
+        print(result)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of Roitman, Gal & "
+                    "Raschid, ICDE 2008.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all", "stats"],
+        help="which table/figure to run ('all' runs everything; "
+             "'stats' prints baseline instance statistics)",
+    )
+    parser.add_argument(
+        "--scale", choices=["paper", "default", "smoke"],
+        default="default",
+        help="experiment scale: 'paper' = full Table-1 sizes, 'default' = "
+             "reduced benchmark sizes, 'smoke' = tiny",
+    )
+    parser.add_argument(
+        "--csv", action="store_true",
+        help="emit CSV series instead of ASCII tables",
+    )
+    parser.add_argument(
+        "--output", metavar="DIR", default=None,
+        help="also write CSV series and text tables into DIR",
+    )
+    return parser
+
+
+def _print_stats(scale: str) -> None:
+    """Print structural statistics of one baseline instance."""
+    from repro.analysis import compute_stats
+    from repro.experiments import baseline, make_instance
+
+    config = baseline(scale)
+    _trace, profiles = make_instance(config, 0)
+    stats = compute_stats(profiles, config.epoch, config.budget_vector)
+    print(render_table(["statistic", "value"], stats.describe(),
+                       title=f"Baseline instance statistics ({scale})"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "stats":
+        _print_stats(args.scale)
+        return 0
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    for name in names:
+        runner = _EXPERIMENTS[name]
+        result = runner(args.scale)
+        _print_result(name, result, args.csv)
+        if args.output:
+            from repro.experiments.export import export_result
+            written = export_result(name, result, args.output)
+            print(f"[wrote {len(written)} files under {args.output}]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

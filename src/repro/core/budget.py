@@ -1,0 +1,116 @@
+"""Probing budgets.
+
+The proxy may issue at most ``C_j`` probes at chronon ``T_j`` (Section 3.3).
+The common experimental setting is a constant budget (``C_j = C`` for all
+``j``), but the model allows an arbitrary per-chronon vector, which
+:class:`BudgetVector` supports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.core.timeline import Chronon, Epoch
+
+__all__ = ["BudgetVector"]
+
+
+class BudgetVector:
+    """Per-chronon probe budget ``C = (C_1, ..., C_K)``.
+
+    Parameters
+    ----------
+    default:
+        Budget used for any chronon without an explicit override.
+    overrides:
+        Optional mapping ``chronon -> budget`` for non-uniform budgets.
+
+    Examples
+    --------
+    >>> budget = BudgetVector(2)
+    >>> budget.at(10)
+    2
+    >>> bursty = BudgetVector(1, overrides={5: 4})
+    >>> bursty.at(5), bursty.at(6)
+    (4, 1)
+    """
+
+    __slots__ = ("_default", "_overrides")
+
+    def __init__(self, default: int,
+                 overrides: Mapping[Chronon, int] | None = None) -> None:
+        if default < 0:
+            raise ValueError(f"budget must be >= 0, got {default}")
+        self._default = default
+        self._overrides: dict[Chronon, int] = {}
+        for chronon, value in (overrides or {}).items():
+            if value < 0:
+                raise ValueError(
+                    f"budget must be >= 0, got {value} at chronon {chronon}"
+                )
+            self._overrides[chronon] = value
+
+    @classmethod
+    def constant(cls, budget: int) -> "BudgetVector":
+        """A uniform budget of ``budget`` probes at every chronon."""
+        return cls(budget)
+
+    @classmethod
+    def from_sequence(cls, values: Iterable[int]) -> "BudgetVector":
+        """Budget vector from an explicit per-chronon sequence.
+
+        The sequence maps to chronons ``1..len(values)``; chronons past the
+        end of the sequence fall back to the *last* value.
+        """
+        values = list(values)
+        if not values:
+            raise ValueError("budget sequence must be non-empty")
+        default = values[-1]
+        overrides = {index + 1: value
+                     for index, value in enumerate(values[:-1])}
+        return cls(default, overrides)
+
+    @property
+    def default(self) -> int:
+        """The budget used for chronons without overrides."""
+        return self._default
+
+    def overrides(self) -> dict[Chronon, int]:
+        """The per-chronon overrides (copy; empty when constant)."""
+        return dict(self._overrides)
+
+    def at(self, chronon: Chronon) -> int:
+        """Budget ``C_j`` available at chronon ``j``."""
+        return self._overrides.get(chronon, self._default)
+
+    def max_over(self, epoch: Epoch) -> int:
+        """``C_max`` over the epoch — the constant in Lemma 1's bound."""
+        best = self._default
+        for chronon, value in self._overrides.items():
+            if chronon in epoch:
+                best = max(best, value)
+        return best
+
+    def total_over(self, epoch: Epoch) -> int:
+        """Total probes available over the epoch."""
+        total = self._default * len(epoch)
+        for chronon, value in self._overrides.items():
+            if chronon in epoch:
+                total += value - self._default
+        return total
+
+    def is_constant(self) -> bool:
+        """True when the budget has no per-chronon overrides."""
+        return not self._overrides
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BudgetVector):
+            return NotImplemented
+        return (self._default == other._default
+                and self._overrides == other._overrides)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_constant():
+            return f"BudgetVector(C={self._default})"
+        return (f"BudgetVector(C={self._default}, "
+                f"overrides={len(self._overrides)})")

@@ -1,0 +1,199 @@
+"""Client profiles and profile sets.
+
+A *profile* ``p = {eta_1, ..., eta_|p|}`` is a collection of t-intervals that
+together model one client's data needs (Section 3.1). The *rank* of a
+profile is the maximal number of EIs in any of its t-intervals; the rank of
+a profile set is the maximum over its profiles. Rank is the complexity
+measure that the MRSF policy and the approximation bounds are stated in.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.intervals import ExecutionInterval, TInterval
+from repro.core.timeline import Chronon
+
+__all__ = ["Profile", "ProfileSet"]
+
+
+class Profile:
+    """A client profile — a set of t-intervals over shared resources.
+
+    Parameters
+    ----------
+    tintervals:
+        The t-intervals composing the profile. Each receives a local
+        ``tinterval_id`` (position in the profile) and this profile's id.
+    profile_id:
+        Stable identity within a :class:`ProfileSet` (``-1`` = unattached).
+    name:
+        Human-readable label (e.g. ``"AuctionWatch(3)#12"``).
+    """
+
+    __slots__ = ("tintervals", "profile_id", "name")
+
+    def __init__(self, tintervals: Iterable[TInterval],
+                 profile_id: int = -1, name: str = "") -> None:
+        self.profile_id = profile_id
+        self.name = name or (f"p{profile_id}" if profile_id >= 0 else "p?")
+        self.tintervals: tuple[TInterval, ...] = tuple(
+            eta.attached(tinterval_id=index, profile_id=profile_id)
+            for index, eta in enumerate(tintervals)
+        )
+
+    def __len__(self) -> int:
+        """Number of t-intervals ``|p|`` (the GC denominator term)."""
+        return len(self.tintervals)
+
+    def __iter__(self) -> Iterator[TInterval]:
+        return iter(self.tintervals)
+
+    def __getitem__(self, index: int) -> TInterval:
+        return self.tintervals[index]
+
+    @property
+    def rank(self) -> int:
+        """``rank(p) = max_eta |eta|`` — 0 for an empty profile."""
+        if not self.tintervals:
+            return 0
+        return max(eta.size for eta in self.tintervals)
+
+    @property
+    def resource_ids(self) -> frozenset[int]:
+        """All resources referenced by the profile's t-intervals."""
+        ids: set[int] = set()
+        for eta in self.tintervals:
+            ids.update(eta.resource_ids)
+        return frozenset(ids)
+
+    @property
+    def is_unit_width(self) -> bool:
+        """True when every EI in the profile has width one (``P^[1]``)."""
+        return all(eta.is_unit_width for eta in self.tintervals)
+
+    def has_intra_resource_overlap(self) -> bool:
+        """True if any two EIs on the same resource overlap.
+
+        Checks overlaps both inside a t-interval and *across* t-intervals of
+        this profile — the paper's theoretical bounds (Proposition 4) assume
+        the overlap-free case.
+        """
+        by_resource: dict[int, list[ExecutionInterval]] = {}
+        for eta in self.tintervals:
+            for ei in eta:
+                by_resource.setdefault(ei.resource_id, []).append(ei)
+        return _any_overlap(by_resource)
+
+    def execution_intervals(self) -> Iterator[tuple[TInterval, ExecutionInterval]]:
+        """Iterate ``(t-interval, EI)`` pairs across the whole profile."""
+        for eta in self.tintervals:
+            for ei in eta:
+                yield eta, ei
+
+    def attached(self, profile_id: int) -> "Profile":
+        """Return a copy of this profile with ids assigned."""
+        bare = [TInterval(eta.eis) for eta in self.tintervals]
+        return Profile(bare, profile_id=profile_id, name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Profile(id={self.profile_id}, name={self.name!r}, "
+                f"|p|={len(self)}, rank={self.rank})")
+
+
+class ProfileSet:
+    """The proxy's registered profiles ``P = {p_1, ..., p_m}``.
+
+    The profile set is the main input of both the offline solvers and the
+    online simulator. It owns identity assignment: profiles get dense ids
+    ``0..m-1`` and t-intervals keep ``(profile_id, tinterval_id)`` keys.
+    """
+
+    __slots__ = ("profiles",)
+
+    def __init__(self, profiles: Iterable[Profile] = ()) -> None:
+        self.profiles: tuple[Profile, ...] = tuple(
+            profile.attached(profile_id=index)
+            for index, profile in enumerate(profiles)
+        )
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def __iter__(self) -> Iterator[Profile]:
+        return iter(self.profiles)
+
+    def __getitem__(self, index: int) -> Profile:
+        return self.profiles[index]
+
+    @property
+    def rank(self) -> int:
+        """``rank(P) = max_p rank(p)`` — 0 for an empty set."""
+        if not self.profiles:
+            return 0
+        return max(profile.rank for profile in self.profiles)
+
+    @property
+    def total_tintervals(self) -> int:
+        """``sum_p |p|`` — the GC denominator."""
+        return sum(len(profile) for profile in self.profiles)
+
+    @property
+    def resource_ids(self) -> frozenset[int]:
+        """All resources referenced anywhere in the profile set."""
+        ids: set[int] = set()
+        for profile in self.profiles:
+            ids.update(profile.resource_ids)
+        return frozenset(ids)
+
+    @property
+    def is_unit_width(self) -> bool:
+        """True when the whole set is ``P^[1]`` (all EIs of width one)."""
+        return all(profile.is_unit_width for profile in self.profiles)
+
+    def has_intra_resource_overlap(self) -> bool:
+        """True if any two EIs on the same resource overlap, set-wide."""
+        by_resource: dict[int, list[ExecutionInterval]] = {}
+        for profile in self.profiles:
+            for eta in profile:
+                for ei in eta:
+                    by_resource.setdefault(ei.resource_id, []).append(ei)
+        return _any_overlap(by_resource)
+
+    def tintervals(self) -> Iterator[TInterval]:
+        """Iterate every t-interval of every profile."""
+        for profile in self.profiles:
+            yield from profile.tintervals
+
+    def tinterval(self, profile_id: int, tinterval_id: int) -> TInterval:
+        """Look a t-interval up by its ``(profile_id, tinterval_id)`` key."""
+        return self.profiles[profile_id][tinterval_id]
+
+    def horizon(self) -> Chronon:
+        """Latest finish chronon over all EIs (1 for an empty set)."""
+        latest = 1
+        for eta in self.tintervals():
+            latest = max(latest, eta.latest_finish)
+        return latest
+
+    def rank_of(self, eta: TInterval) -> int:
+        """``rank(p)`` of the profile owning ``eta``.
+
+        The MRSF score (Section 4.2.2) is defined against the *profile*
+        rank, not the t-interval size.
+        """
+        return self.profiles[eta.profile_id].rank
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"ProfileSet(m={len(self)}, rank={self.rank}, "
+                f"tintervals={self.total_tintervals})")
+
+
+def _any_overlap(by_resource: dict[int, list[ExecutionInterval]]) -> bool:
+    """True if any same-resource EI list contains an overlapping pair."""
+    for group in by_resource.values():
+        group.sort(key=lambda e: (e.start, e.finish))
+        for left, right in zip(group, group[1:]):
+            if right.start <= left.finish:
+                return True
+    return False

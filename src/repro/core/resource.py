@@ -1,0 +1,129 @@
+"""Resources and resource catalogs.
+
+A *resource* is anything the proxy can probe: a Web feed, an auction page, a
+stock ticker on a particular exchange. The scheduling model only needs a
+stable integer identity per resource; names and metadata exist to make
+examples and traces human-readable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+__all__ = ["Resource", "ResourceCatalog"]
+
+
+@dataclass(frozen=True, slots=True)
+class Resource:
+    """A monitorable data source.
+
+    Parameters
+    ----------
+    resource_id:
+        Stable non-negative integer identity; unique within a catalog.
+    name:
+        Human-readable label (e.g. ``"ebay/intel-t60-auction-17"``).
+    metadata:
+        Optional free-form attributes (brand, category, market, ...).
+        Stored as an immutable mapping view for hashing safety.
+    """
+
+    resource_id: int
+    name: str = ""
+    metadata: tuple[tuple[str, str], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.resource_id < 0:
+            raise ValueError(f"resource_id must be >= 0, got {self.resource_id}")
+
+    @classmethod
+    def create(cls, resource_id: int, name: str = "",
+               metadata: Mapping[str, str] | None = None) -> "Resource":
+        """Build a resource from a plain metadata mapping."""
+        items = tuple(sorted((metadata or {}).items()))
+        return cls(resource_id=resource_id, name=name or f"r{resource_id}",
+                   metadata=items)
+
+    @property
+    def meta(self) -> dict[str, str]:
+        """Metadata as a plain dictionary (copy)."""
+        return dict(self.metadata)
+
+    def __int__(self) -> int:
+        return self.resource_id
+
+
+class ResourceCatalog:
+    """An ordered, id-indexed collection of resources.
+
+    The catalog guarantees that ``catalog[i].resource_id == i`` for dense
+    catalogs created via :meth:`dense`, which lets hot loops use resource ids
+    directly as array indexes.
+    """
+
+    def __init__(self, resources: Iterator[Resource] | list[Resource] = ()) -> None:
+        self._by_id: dict[int, Resource] = {}
+        for resource in resources:
+            self.add(resource)
+
+    @classmethod
+    def dense(cls, count: int, prefix: str = "r",
+              metadata_for: Mapping[int, Mapping[str, str]] | None = None
+              ) -> "ResourceCatalog":
+        """Create ``count`` resources with ids ``0..count-1``.
+
+        Parameters
+        ----------
+        count:
+            Number of resources to create.
+        prefix:
+            Name prefix; resource ``i`` is named ``f"{prefix}{i}"``.
+        metadata_for:
+            Optional per-id metadata mapping.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        catalog = cls()
+        meta_map = metadata_for or {}
+        for i in range(count):
+            catalog.add(Resource.create(i, f"{prefix}{i}", meta_map.get(i)))
+        return catalog
+
+    def add(self, resource: Resource) -> None:
+        """Add a resource; ids must be unique within the catalog."""
+        if resource.resource_id in self._by_id:
+            raise ValueError(f"duplicate resource_id {resource.resource_id}")
+        self._by_id[resource.resource_id] = resource
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self) -> Iterator[Resource]:
+        return iter(sorted(self._by_id.values(), key=lambda r: r.resource_id))
+
+    def __contains__(self, resource_id: object) -> bool:
+        return resource_id in self._by_id
+
+    def __getitem__(self, resource_id: int) -> Resource:
+        try:
+            return self._by_id[resource_id]
+        except KeyError:
+            raise KeyError(f"no resource with id {resource_id}") from None
+
+    def ids(self) -> list[int]:
+        """All resource ids in ascending order."""
+        return sorted(self._by_id)
+
+    def by_name(self, name: str) -> Resource:
+        """Look a resource up by its (unique) name.
+
+        Raises
+        ------
+        KeyError
+            If no resource carries that name.
+        """
+        for resource in self._by_id.values():
+            if resource.name == name:
+                return resource
+        raise KeyError(f"no resource named {name!r}")

@@ -1,0 +1,88 @@
+"""Discrete time model: chronons and epochs.
+
+The paper models time as an *epoch* ``T = (T_1, ..., T_K)`` made of ``K``
+*chronons* — indivisible units of time. We represent a chronon by a plain
+``int`` (1-based, matching the paper's notation) and an epoch by the
+:class:`Epoch` value object, which mostly provides validated iteration and
+membership helpers.
+
+Keeping chronons as bare integers (rather than wrapping them in a class)
+keeps the hot scheduling loops allocation-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Chronon", "Epoch"]
+
+# A chronon is an indivisible unit of time; we alias it for readable
+# signatures throughout the code base.
+Chronon = int
+
+
+@dataclass(frozen=True, slots=True)
+class Epoch:
+    """An epoch of ``K`` chronons, numbered ``1..K`` inclusive.
+
+    Parameters
+    ----------
+    length:
+        Number of chronons ``K`` in the epoch. Must be positive.
+
+    Examples
+    --------
+    >>> epoch = Epoch(5)
+    >>> list(epoch)
+    [1, 2, 3, 4, 5]
+    >>> 3 in epoch
+    True
+    >>> epoch.last
+    5
+    """
+
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length < 1:
+            raise ValueError(f"epoch length must be >= 1, got {self.length}")
+
+    @property
+    def first(self) -> Chronon:
+        """The first chronon of the epoch (always 1)."""
+        return 1
+
+    @property
+    def last(self) -> Chronon:
+        """The last chronon ``T_K`` of the epoch."""
+        return self.length
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __iter__(self) -> Iterator[Chronon]:
+        return iter(range(1, self.length + 1))
+
+    def __contains__(self, chronon: object) -> bool:
+        if not isinstance(chronon, int) or isinstance(chronon, bool):
+            return False
+        return 1 <= chronon <= self.length
+
+    def clamp(self, chronon: int) -> Chronon:
+        """Clamp an arbitrary integer into the epoch's chronon range."""
+        return max(1, min(self.length, chronon))
+
+    def require(self, chronon: int) -> Chronon:
+        """Validate that ``chronon`` lies inside the epoch and return it.
+
+        Raises
+        ------
+        ValueError
+            If the chronon falls outside ``[1, K]``.
+        """
+        if chronon not in self:
+            raise ValueError(
+                f"chronon {chronon} outside epoch [1, {self.length}]"
+            )
+        return chronon

@@ -1,0 +1,54 @@
+"""The profile specification language (parser + compiler).
+
+A small declarative language for registering monitoring profiles — the
+role the paper assigns to the execution-interval specification language of
+its reference [15]::
+
+    profile arbitrage {
+        watch market-0, market-1 overlap within 10;
+    }
+    profile inbox {
+        subscribe feed/cnn, feed/bbc until overwrite;
+    }
+    profile digest {
+        watch 3, 4, 5 indexed within 20 quota 2;
+    }
+
+Use :func:`parse` for the AST, :func:`compile_text` to materialize
+profiles against a trace, and the result's ``quotas`` with
+:func:`repro.extensions.run_with_quotas` when quota clauses are present.
+"""
+
+from repro.dsl.ast import Document, ProfileSpec, ResourceRef, Statement
+from repro.dsl.compiler import (
+    CompiledProfiles,
+    compile_document,
+    compile_text,
+)
+from repro.dsl.errors import DslError, DslSemanticError, DslSyntaxError
+from repro.dsl.parser import parse
+from repro.dsl.printer import (
+    format_document,
+    format_profile,
+    format_statement,
+)
+from repro.dsl.tokens import Token, tokenize
+
+__all__ = [
+    "CompiledProfiles",
+    "Document",
+    "DslError",
+    "DslSemanticError",
+    "DslSyntaxError",
+    "ProfileSpec",
+    "ResourceRef",
+    "Statement",
+    "Token",
+    "compile_document",
+    "compile_text",
+    "format_document",
+    "format_profile",
+    "format_statement",
+    "parse",
+    "tokenize",
+]

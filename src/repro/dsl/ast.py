@@ -1,0 +1,77 @@
+"""Abstract syntax tree of the profile specification language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+__all__ = ["ResourceRef", "Statement", "ProfileSpec", "Document"]
+
+Grouping = Literal["indexed", "overlap"]
+RestrictionKind = Literal["window", "overwrite"]
+StatementKind = Literal["watch", "subscribe"]
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRef:
+    """A resource mention: either a numeric id or a catalog name."""
+
+    text: str
+    line: int
+    column: int
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.text.isdigit()
+
+
+@dataclass(frozen=True, slots=True)
+class Statement:
+    """One monitoring statement inside a profile block.
+
+    ``watch`` builds complex (rank = #resources) t-intervals via the
+    AuctionWatch template; ``subscribe`` builds rank-1 t-intervals via the
+    SingleResource template. ``quota`` (watch only) relaxes capture to
+    k-of-n semantics for the t-intervals this statement produces.
+    """
+
+    kind: StatementKind
+    resources: tuple[ResourceRef, ...]
+    restriction: RestrictionKind
+    window: int | None  # None iff restriction == "overwrite"
+    grouping: Grouping = "indexed"
+    quota: int | None = None
+    #: Temporal trigger: rounds fire every ``period`` chronons instead of
+    #: on updates (the paper's "every ten minutes" example). ``None`` =
+    #: update-driven. Only valid on ``watch`` with a window restriction.
+    period: int | None = None
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class ProfileSpec:
+    """One ``profile <name> { ... }`` block."""
+
+    name: str
+    statements: tuple[Statement, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class Document:
+    """A parsed specification file: an ordered list of profiles."""
+
+    profiles: tuple[ProfileSpec, ...]
+
+    def profile(self, name: str) -> ProfileSpec:
+        """Look a profile block up by name.
+
+        Raises
+        ------
+        KeyError
+            If no block carries that name.
+        """
+        for spec in self.profiles:
+            if spec.name == name:
+                return spec
+        raise KeyError(f"no profile named {name!r}")

@@ -1,0 +1,97 @@
+"""``repro-dsl``: check and format profile specification files.
+
+Subcommands::
+
+    repro-dsl check  spec.profiles     # parse; report errors with positions
+    repro-dsl format spec.profiles     # print the canonical form
+    repro-dsl format --write spec.profiles   # rewrite in place
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.dsl.errors import DslError
+from repro.dsl.parser import parse
+from repro.dsl.printer import format_document
+
+__all__ = ["main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-dsl",
+        description="Check and format profile specification files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    check = sub.add_parser("check", help="parse and report problems")
+    check.add_argument("files", nargs="+", metavar="FILE")
+
+    fmt = sub.add_parser("format", help="print the canonical form")
+    fmt.add_argument("files", nargs="+", metavar="FILE")
+    fmt.add_argument("--write", action="store_true",
+                     help="rewrite files in place instead of printing")
+    return parser
+
+
+def _check(paths: list[str]) -> int:
+    status = 0
+    for name in paths:
+        path = Path(name)
+        try:
+            document = parse(path.read_text())
+        except OSError as exc:
+            print(f"{name}: cannot read: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        except DslError as exc:
+            print(f"{name}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        count = len(document.profiles)
+        statements = sum(len(spec.statements)
+                         for spec in document.profiles)
+        print(f"{name}: OK ({count} profiles, {statements} statements)")
+    return status
+
+
+def _format(paths: list[str], write: bool) -> int:
+    status = 0
+    for name in paths:
+        path = Path(name)
+        try:
+            text = path.read_text()
+            formatted = format_document(parse(text))
+        except OSError as exc:
+            print(f"{name}: cannot read: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        except DslError as exc:
+            print(f"{name}: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        if write:
+            if formatted != text:
+                path.write_text(formatted)
+                print(f"{name}: reformatted")
+            else:
+                print(f"{name}: already canonical")
+        else:
+            print(formatted, end="")
+    return status
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "check":
+        return _check(args.files)
+    return _format(args.files, args.write)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

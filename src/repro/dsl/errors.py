@@ -1,0 +1,25 @@
+"""DSL-specific errors, carrying source positions."""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+
+__all__ = ["DslError", "DslSyntaxError", "DslSemanticError"]
+
+
+class DslError(ReproError):
+    """Base class for profile-language errors."""
+
+
+class DslSyntaxError(DslError):
+    """Tokenization/parse failure at a known source position."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.line = line
+        self.column = column
+
+
+class DslSemanticError(DslError):
+    """A well-formed document that cannot be compiled (unknown resource,
+    duplicate profile names, invalid quota...)."""

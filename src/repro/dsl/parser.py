@@ -1,0 +1,203 @@
+"""Recursive-descent parser for the profile specification language.
+
+Grammar (EBNF)::
+
+    document   := profile* EOF
+    profile    := "profile" IDENT "{" statement* "}"
+    statement  := verb resources [grouping] [trigger] restriction
+                  [quota] ";"
+    verb       := "watch" | "subscribe"
+    resources  := resource ("," resource)*
+    resource   := IDENT | INT
+    grouping   := "indexed" | "overlap"            (watch only)
+    trigger    := "every" INT                      (watch only; temporal
+                                                    rounds instead of
+                                                    update-driven EIs)
+    restriction:= "within" INT | "until" "overwrite"
+    quota      := "quota" INT                      (watch only)
+
+Example::
+
+    # arbitrage: both markets fresh within 10 chronons, overlapping
+    profile arbitrage {
+        watch market-0, market-1 overlap within 10;
+    }
+    profile inbox {
+        subscribe feed/cnn, feed/bbc until overwrite;
+    }
+    profile digest {
+        watch 3, 4, 5 indexed within 20 quota 2;
+    }
+"""
+
+from __future__ import annotations
+
+from repro.dsl.ast import Document, ProfileSpec, ResourceRef, Statement
+from repro.dsl.errors import DslSyntaxError
+from repro.dsl.tokens import Token, tokenize
+
+__all__ = ["parse"]
+
+_VERBS = {"watch", "subscribe"}
+_GROUPINGS = {"indexed", "overlap"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    @staticmethod
+    def _describe(token: Token) -> str:
+        return repr(token.value) if token.value else "end of file"
+
+    def _expect(self, kind: str, what: str) -> Token:
+        token = self._current
+        if token.kind != kind:
+            raise DslSyntaxError(
+                f"expected {what}, found {self._describe(token)}",
+                token.line, token.column)
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        token = self._current
+        if token.kind != "IDENT" or token.value != word:
+            raise DslSyntaxError(
+                f"expected {word!r}, found {self._describe(token)}",
+                token.line, token.column)
+        return self._advance()
+
+    def _expect_int(self, what: str) -> int:
+        token = self._expect("INT", what)
+        return int(token.value)
+
+    # -- grammar productions --------------------------------------------
+
+    def document(self) -> Document:
+        profiles: list[ProfileSpec] = []
+        while self._current.kind != "EOF":
+            profiles.append(self.profile())
+        return Document(profiles=tuple(profiles))
+
+    def profile(self) -> ProfileSpec:
+        keyword = self._expect_keyword("profile")
+        name = self._expect("IDENT", "a profile name").value
+        self._expect("LBRACE", "'{'")
+        statements: list[Statement] = []
+        while not (self._current.kind == "RBRACE"):
+            if self._current.kind == "EOF":
+                raise DslSyntaxError("unterminated profile block",
+                                     keyword.line, keyword.column)
+            statements.append(self.statement())
+        self._expect("RBRACE", "'}'")
+        return ProfileSpec(name=name, statements=tuple(statements),
+                           line=keyword.line)
+
+    def statement(self) -> Statement:
+        verb_token = self._current
+        if verb_token.kind != "IDENT" or verb_token.value not in _VERBS:
+            raise DslSyntaxError(
+                f"expected 'watch' or 'subscribe', found "
+                f"{verb_token.value!r}",
+                verb_token.line, verb_token.column)
+        self._advance()
+        kind = verb_token.value
+
+        resources = [self._resource()]
+        while self._current.kind == "COMMA":
+            self._advance()
+            resources.append(self._resource())
+
+        grouping = "indexed"
+        if (self._current.kind == "IDENT"
+                and self._current.value in _GROUPINGS):
+            if kind == "subscribe":
+                raise DslSyntaxError(
+                    "grouping applies to 'watch' statements only",
+                    self._current.line, self._current.column)
+            grouping = self._advance().value
+
+        period: int | None = None
+        if self._current.kind == "IDENT" and self._current.value == "every":
+            every_token = self._advance()
+            if kind == "subscribe":
+                raise DslSyntaxError(
+                    "'every' applies to 'watch' statements only",
+                    every_token.line, every_token.column)
+            period = self._expect_int("a trigger period")
+            if period < 1:
+                raise DslSyntaxError("period must be >= 1",
+                                     every_token.line, every_token.column)
+
+        restriction, window = self._restriction()
+        if period is not None and restriction != "window":
+            raise DslSyntaxError(
+                "'every' requires a 'within <W>' restriction (the round "
+                "window); 'until overwrite' is update-driven",
+                verb_token.line, verb_token.column)
+
+        quota: int | None = None
+        if self._current.kind == "IDENT" and self._current.value == "quota":
+            quota_token = self._advance()
+            if kind == "subscribe":
+                raise DslSyntaxError(
+                    "quota applies to 'watch' statements only",
+                    quota_token.line, quota_token.column)
+            quota = self._expect_int("a quota value")
+            if quota < 1:
+                raise DslSyntaxError("quota must be >= 1",
+                                     quota_token.line, quota_token.column)
+
+        self._expect("SEMI", "';'")
+        return Statement(kind=kind, resources=tuple(resources),
+                         restriction=restriction, window=window,
+                         grouping=grouping, quota=quota, period=period,
+                         line=verb_token.line)
+
+    def _resource(self) -> ResourceRef:
+        token = self._current
+        if token.kind not in ("IDENT", "INT"):
+            raise DslSyntaxError(
+                f"expected a resource name or id, found {token.value!r}",
+                token.line, token.column)
+        self._advance()
+        return ResourceRef(text=token.value, line=token.line,
+                           column=token.column)
+
+    def _restriction(self) -> tuple[str, int | None]:
+        token = self._current
+        if token.kind == "IDENT" and token.value == "within":
+            self._advance()
+            window = self._expect_int("a window width")
+            return "window", window
+        if token.kind == "IDENT" and token.value == "until":
+            self._advance()
+            self._expect_keyword("overwrite")
+            return "overwrite", None
+        raise DslSyntaxError(
+            f"expected 'within <W>' or 'until overwrite', found "
+            f"{token.value!r}",
+            token.line, token.column)
+
+
+def parse(text: str) -> Document:
+    """Parse a profile specification document.
+
+    Raises
+    ------
+    DslSyntaxError
+        With a 1-based source position, on any malformed input.
+    """
+    return _Parser(tokenize(text)).document()

@@ -1,0 +1,46 @@
+"""Pretty-printer for profile specification documents.
+
+``format_document(parse(text))`` is the canonical form of ``text``;
+formatting is stable (``parse(format_document(doc)) == doc``), which the
+property tests rely on.
+"""
+
+from __future__ import annotations
+
+from repro.dsl.ast import Document, ProfileSpec, Statement
+
+__all__ = ["format_document", "format_profile", "format_statement"]
+
+
+def format_statement(statement: Statement) -> str:
+    """One statement as canonical source text (no trailing newline)."""
+    parts = [statement.kind,
+             ", ".join(ref.text for ref in statement.resources)]
+    if statement.kind == "watch" and statement.grouping != "indexed":
+        parts.append(statement.grouping)
+    if statement.period is not None:
+        parts.append(f"every {statement.period}")
+    if statement.restriction == "window":
+        parts.append(f"within {statement.window}")
+    else:
+        parts.append("until overwrite")
+    if statement.quota is not None:
+        parts.append(f"quota {statement.quota}")
+    return " ".join(parts) + ";"
+
+
+def format_profile(spec: ProfileSpec) -> str:
+    """One profile block as canonical source text."""
+    lines = [f"profile {spec.name} {{"]
+    lines.extend(f"    {format_statement(statement)}"
+                 for statement in spec.statements)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_document(document: Document) -> str:
+    """A whole document as canonical source text (trailing newline)."""
+    if not document.profiles:
+        return ""
+    return "\n\n".join(format_profile(spec)
+                       for spec in document.profiles) + "\n"

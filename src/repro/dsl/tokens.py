@@ -1,0 +1,100 @@
+"""Tokenizer for the profile specification language.
+
+The language is small and line-oriented in spirit:
+
+* identifiers: ``[A-Za-z_][A-Za-z0-9_/.-]*`` (resource and profile names
+  may contain ``/``, ``.`` and ``-`` — feed URLs and auction slugs);
+* integers, punctuation ``{ } , ;``;
+* comments: ``#`` to end of line;
+* keywords are ordinary identifiers recognized by the parser, so a
+  resource may legally be named ``watch`` if it is quoted by position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.dsl.errors import DslSyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+_PUNCTUATION = {"{": "LBRACE", "}": "RBRACE", ",": "COMMA", ";": "SEMI"}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str  # "IDENT" | "INT" | "LBRACE" | "RBRACE" | "COMMA" | "SEMI" | "EOF"
+    value: str
+    line: int
+    column: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind}({self.value!r})@{self.line}:{self.column}"
+
+
+def _is_ident_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_ident_char(char: str) -> bool:
+    return char.isalnum() or char in "_/.-"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a document; always ends with an EOF token.
+
+    Raises
+    ------
+    DslSyntaxError
+        On any unexpected character.
+    """
+    tokens: list[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char.isspace():
+            index += 1
+            column += 1
+            continue
+        if char == "#":
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        if char in _PUNCTUATION:
+            tokens.append(Token(_PUNCTUATION[char], char, line, column))
+            index += 1
+            column += 1
+            continue
+        if char.isdigit():
+            start = index
+            start_column = column
+            while index < length and text[index].isdigit():
+                index += 1
+                column += 1
+            tokens.append(Token("INT", text[start:index], line,
+                                start_column))
+            continue
+        if _is_ident_start(char):
+            start = index
+            start_column = column
+            while index < length and _is_ident_char(text[index]):
+                index += 1
+                column += 1
+            tokens.append(Token("IDENT", text[start:index], line,
+                                start_column))
+            continue
+        raise DslSyntaxError(f"unexpected character {char!r}", line,
+                             column)
+    tokens.append(Token("EOF", "", line, column))
+    return tokens

@@ -1,0 +1,61 @@
+"""Experiment harness and per-figure reproduction definitions."""
+
+from repro.experiments.churn import (
+    ChurnConfig,
+    ChurnResult,
+    ClientOutcome,
+    jain_index,
+    run_churn,
+)
+from repro.experiments.config import ExperimentConfig, SCALES, baseline
+from repro.experiments.figures import (
+    ALL_POLICY_VARIANTS,
+    FigurePair,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table1,
+)
+from repro.experiments.harness import (
+    OFFLINE_LABEL,
+    PolicyOutcome,
+    RunOutcome,
+    SweepResult,
+    make_instance,
+    run_setting,
+    sweep,
+)
+from repro.experiments.reporting import render_table, sweep_csv, sweep_table
+
+__all__ = [
+    "ALL_POLICY_VARIANTS",
+    "ChurnConfig",
+    "ChurnResult",
+    "ClientOutcome",
+    "ExperimentConfig",
+    "jain_index",
+    "run_churn",
+    "FigurePair",
+    "OFFLINE_LABEL",
+    "PolicyOutcome",
+    "RunOutcome",
+    "SCALES",
+    "SweepResult",
+    "baseline",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "make_instance",
+    "render_table",
+    "run_setting",
+    "sweep",
+    "sweep_csv",
+    "sweep_table",
+    "table1",
+]

@@ -1,0 +1,231 @@
+"""Client-churn experiments on the live runtime.
+
+The paper's evaluation registers all profiles up front; real proxies see
+clients come and go. This experiment drives the
+:class:`~repro.runtime.proxy.MonitoringProxy` with clients joining over
+the epoch (and optionally leaving), measuring how arrival spread affects
+delivered completeness and cross-client fairness.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.budget import BudgetVector
+from repro.core.errors import WorkloadError
+from repro.core.timeline import Epoch
+from repro.online.registry import parse_policy_spec
+from repro.runtime.proxy import MonitoringProxy
+from repro.runtime.server import OriginServer
+from repro.traces.models import PoissonUpdateModel
+from repro.workloads.generator import GeneratorConfig, ProfileGenerator
+
+__all__ = ["ChurnConfig", "ClientOutcome", "ChurnResult", "run_churn",
+           "jain_index"]
+
+
+def jain_index(values: list[float]) -> float:
+    """Jain's fairness index: ``(Σx)² / (n · Σx²)``; 1.0 = perfectly fair.
+
+    Defined as 1.0 for empty input or all-zero values (no allocation to
+    be unfair about).
+    """
+    if not values:
+        return 1.0
+    total = sum(values)
+    squares = sum(value * value for value in values)
+    if squares == 0:
+        return 1.0
+    return (total * total) / (len(values) * squares)
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnConfig:
+    """Knobs of the churn experiment.
+
+    Attributes
+    ----------
+    epoch_length, num_resources, intensity:
+        Trace shape (Poisson updates).
+    num_clients:
+        Number of clients.
+    profiles_per_client:
+        AuctionWatch profiles each client registers on arrival.
+    join_spread:
+        Fraction of the epoch over which clients arrive, uniformly.
+        0.0 = everyone at the start (the paper's static setting);
+        0.8 = arrivals throughout the first 80% of the epoch.
+    leave_probability:
+        Chance that a client unregisters all profiles at the three-
+        quarter mark (simulating churn out).
+    policy:
+        Policy spec, e.g. ``"MRSF(P)"``.
+    budget, max_rank, window, seed:
+        As in the main experiments.
+    """
+
+    epoch_length: int = 400
+    num_resources: int = 80
+    intensity: float = 10.0
+    num_clients: int = 8
+    profiles_per_client: int = 10
+    join_spread: float = 0.0
+    leave_probability: float = 0.0
+    policy: str = "MRSF(P)"
+    budget: int = 1
+    max_rank: int = 3
+    window: int = 10
+    seed: int = 4242
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.join_spread <= 1.0:
+            raise WorkloadError(
+                f"join_spread must be in [0, 1], got {self.join_spread}")
+        if not 0.0 <= self.leave_probability <= 1.0:
+            raise WorkloadError(
+                f"leave_probability must be in [0, 1], got "
+                f"{self.leave_probability}")
+        if self.num_clients < 1:
+            raise WorkloadError("num_clients must be >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class ClientOutcome:
+    """Per-client accounting."""
+
+    name: str
+    joined_at: int
+    left_at: int | None
+    registered: int
+    notified: int
+
+    @property
+    def completeness(self) -> float:
+        """Notifications per registered t-interval (1.0 when none)."""
+        if self.registered == 0:
+            return 1.0
+        return self.notified / self.registered
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnResult:
+    """Outcome of one churn run."""
+
+    clients: tuple[ClientOutcome, ...]
+    completed: int
+    expired: int
+    dropped: int
+    probes_used: int
+
+    @property
+    def overall_completeness(self) -> float:
+        resolved = self.completed + self.expired
+        if resolved == 0:
+            return 1.0
+        return self.completed / resolved
+
+    @property
+    def fairness(self) -> float:
+        """Jain index over per-client completeness."""
+        return jain_index([client.completeness
+                           for client in self.clients])
+
+    @property
+    def mean_client_completeness(self) -> float:
+        return statistics.fmean(client.completeness
+                                for client in self.clients)
+
+
+def run_churn(config: ChurnConfig) -> ChurnResult:
+    """Execute one churn scenario end to end."""
+    rng = np.random.default_rng(config.seed)
+    epoch = Epoch(config.epoch_length)
+    trace = PoissonUpdateModel(config.intensity,
+                               seed=config.seed).generate(
+        range(config.num_resources), epoch)
+
+    policy, preemptive = parse_policy_spec(config.policy)
+    proxy = MonitoringProxy(OriginServer(trace), epoch,
+                            BudgetVector(config.budget), policy,
+                            preemptive=preemptive)
+
+    # Arrival plan: chronon each client joins (0 = before the run).
+    horizon = int(config.join_spread * config.epoch_length)
+    joins = sorted(int(rng.integers(0, horizon + 1))
+                   for _ in range(config.num_clients))
+    leave_at = (3 * config.epoch_length) // 4
+    leavers = [bool(rng.random() < config.leave_probability)
+               for _ in range(config.num_clients)]
+
+    clients = []
+    registrations: list[list[int]] = []
+    counts: list[int] = []
+    for index in range(config.num_clients):
+        clients.append(proxy.register_client(f"client-{index}"))
+        registrations.append([])
+        counts.append(0)
+
+    def register(index: int) -> None:
+        # Each client brings its own (seeded) interests.
+        generator = ProfileGenerator(GeneratorConfig(
+            num_profiles=config.profiles_per_client,
+            max_rank=config.max_rank,
+            window=config.window,
+            grouping="overlap",
+            seed=config.seed + 101 * (index + 1),
+        ))
+        profiles = generator.generate(
+            trace, epoch, resource_ids=list(range(config.num_resources)))
+        for profile in profiles:
+            from repro.core.profile import Profile
+            from repro.core.intervals import TInterval
+            bare = Profile([TInterval(eta.eis) for eta in profile],
+                           name=f"{clients[index].name}/{profile.name}")
+            if len(bare) == 0:
+                continue  # the generator can produce empty profiles
+            counts[index] += len(bare)
+            registrations[index].append(
+                proxy.register_profile(clients[index], bare))
+
+    # Join at chronon 0 means "before the run starts".
+    pending = list(range(config.num_clients))
+    for index in list(pending):
+        if joins[index] == 0:
+            register(index)
+            pending.remove(index)
+
+    left_marks: list[int | None] = [None] * config.num_clients
+    while proxy.clock < epoch.last:
+        chronon = proxy.step()
+        for index in list(pending):
+            if joins[index] == chronon:
+                register(index)
+                pending.remove(index)
+        if chronon == leave_at:
+            for index, leaving in enumerate(leavers):
+                if leaving and left_marks[index] is None:
+                    for profile_id in registrations[index]:
+                        proxy.unregister_profile(profile_id)
+                    left_marks[index] = chronon
+    stats = proxy.run()  # flush accounting
+
+    outcomes = tuple(
+        ClientOutcome(
+            name=clients[index].name,
+            joined_at=joins[index],
+            left_at=left_marks[index],
+            registered=counts[index],
+            notified=len(clients[index].mailbox),
+        )
+        for index in range(config.num_clients)
+    )
+    return ChurnResult(
+        clients=outcomes,
+        completed=stats.completed,
+        expired=stats.expired,
+        dropped=stats.dropped,
+        probes_used=stats.probes_used,
+    )

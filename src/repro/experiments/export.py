@@ -1,0 +1,77 @@
+"""Exporting experiment results to files (CSV series + markdown summary).
+
+The benchmark harness and CLI can persist every figure's series so that
+EXPERIMENTS.md (and downstream analysis) works from files rather than
+scraped terminal output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.figures import FigurePair
+from repro.experiments.harness import RunOutcome, SweepResult
+from repro.experiments.reporting import render_table, sweep_csv, sweep_table
+
+__all__ = ["export_result", "export_run_outcome", "export_sweep"]
+
+
+def export_sweep(result: SweepResult, directory: str | Path,
+                 stem: str, metrics: tuple[str, ...] = ("gc",)
+                 ) -> list[Path]:
+    """Write one CSV per metric plus a text table; returns written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    for metric in metrics:
+        csv_path = directory / f"{stem}_{metric}.csv"
+        csv_path.write_text(sweep_csv(result, metric=metric))
+        written.append(csv_path)
+        table_path = directory / f"{stem}_{metric}.txt"
+        table_path.write_text(sweep_table(result, metric=metric) + "\n")
+        written.append(table_path)
+    return written
+
+
+def export_run_outcome(outcome: RunOutcome, directory: str | Path,
+                       stem: str) -> list[Path]:
+    """Write a policy-summary CSV + text table + config dump."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    rows = [
+        [label, policy.mean_gc, policy.stdev_gc, policy.mean_runtime]
+        for label, policy in outcome.outcomes.items()
+    ]
+    csv_lines = ["policy,mean_gc,stdev_gc,mean_runtime_s"]
+    csv_lines += [f"{label},{gc:.6f},{stdev:.6f},{runtime:.6f}"
+                  for label, gc, stdev, runtime in rows]
+    csv_path = directory / f"{stem}.csv"
+    csv_path.write_text("\n".join(csv_lines) + "\n")
+
+    table_path = directory / f"{stem}.txt"
+    table_path.write_text(render_table(
+        ["policy", "mean GC", "stdev", "runtime (s)"], rows,
+        title=stem) + "\n")
+
+    config_path = directory / f"{stem}_config.txt"
+    config_path.write_text(render_table(
+        ["parameter", "value"], outcome.config.describe(),
+        title=f"{stem} configuration") + "\n")
+    return [csv_path, table_path, config_path]
+
+
+def export_result(name: str, result: object,
+                  directory: str | Path) -> list[Path]:
+    """Dispatch on the result type (RunOutcome / SweepResult / pair)."""
+    if isinstance(result, RunOutcome):
+        return export_run_outcome(result, directory, name)
+    if isinstance(result, SweepResult):
+        metrics = ("gc", "runtime")
+        return export_sweep(result, directory, name, metrics=metrics)
+    if isinstance(result, FigurePair):
+        written = export_sweep(result.left, directory, f"{name}_panel1",
+                               metrics=("gc", "runtime"))
+        written += export_sweep(result.right, directory, f"{name}_panel2",
+                                metrics=("gc", "runtime"))
+        return written
+    raise TypeError(f"cannot export result of type {type(result)!r}")

@@ -1,0 +1,199 @@
+"""Experiment harness: instance generation, policy runs, sweeps.
+
+The harness reproduces the paper's protocol (§5.1): for each parameter
+setting generate ``repetitions`` independent problem instances (trace +
+profiles), run every policy — and optionally the offline approximation —
+on the *same* instances, and average gained completeness and runtime.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.profile import ProfileSet
+from repro.experiments.config import ExperimentConfig
+from repro.offline.local_ratio import LocalRatioApproximation
+from repro.online.registry import parse_policy_spec
+from repro.simulation.proxy import run_online
+from repro.simulation.result import SimulationResult
+from repro.traces.auctions import AuctionTraceSynthesizer
+from repro.traces.events import UpdateTrace
+from repro.traces.models import PoissonUpdateModel
+from repro.workloads.generator import GeneratorConfig, ProfileGenerator
+
+__all__ = [
+    "PolicyOutcome",
+    "RunOutcome",
+    "SweepResult",
+    "make_instance",
+    "run_setting",
+    "sweep",
+    "OFFLINE_LABEL",
+]
+
+OFFLINE_LABEL = "offline-approx"
+
+#: The policy line-up the paper's figures use most often.
+DEFAULT_POLICIES: tuple[str, ...] = (
+    "S-EDF(NP)", "S-EDF(P)", "MRSF(P)", "M-EDF(P)",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PolicyOutcome:
+    """Aggregated outcome of one policy over the repetitions."""
+
+    label: str
+    gc_values: tuple[float, ...]
+    runtime_values: tuple[float, ...]
+
+    @property
+    def mean_gc(self) -> float:
+        return statistics.fmean(self.gc_values)
+
+    @property
+    def stdev_gc(self) -> float:
+        if len(self.gc_values) < 2:
+            return 0.0
+        return statistics.stdev(self.gc_values)
+
+    @property
+    def mean_runtime(self) -> float:
+        return statistics.fmean(self.runtime_values)
+
+
+@dataclass(frozen=True, slots=True)
+class RunOutcome:
+    """All policy outcomes for one parameter setting."""
+
+    config: ExperimentConfig
+    outcomes: dict[str, PolicyOutcome]
+
+    def mean_gc(self, label: str) -> float:
+        """Mean gained completeness of one policy."""
+        return self.outcomes[label].mean_gc
+
+    def mean_runtime(self, label: str) -> float:
+        """Mean decision runtime (seconds) of one policy."""
+        return self.outcomes[label].mean_runtime
+
+    def labels(self) -> list[str]:
+        """All policy labels present in this outcome."""
+        return list(self.outcomes)
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """GC/runtime series over a swept parameter (one paper figure panel)."""
+
+    name: str
+    parameter: str
+    x_values: tuple
+    runs: tuple[RunOutcome, ...]
+
+    def series(self, label: str, metric: str = "gc") -> list[float]:
+        """The metric series of one policy across the sweep."""
+        if metric == "gc":
+            return [run.mean_gc(label) for run in self.runs]
+        if metric == "runtime":
+            return [run.mean_runtime(label) for run in self.runs]
+        raise ValueError(f"unknown metric {metric!r}")
+
+    def labels(self) -> list[str]:
+        """Policy labels present in the sweep (empty when no runs)."""
+        return self.runs[0].labels() if self.runs else []
+
+
+def make_instance(config: ExperimentConfig, repetition: int,
+                  source: str = "poisson"
+                  ) -> tuple[UpdateTrace, ProfileSet]:
+    """Generate one (trace, profiles) problem instance.
+
+    Parameters
+    ----------
+    config:
+        Experimental setting.
+    repetition:
+        Repetition index; folded into the seed so instances differ across
+        repetitions but are reproducible.
+    source:
+        ``"poisson"`` for the synthetic Poisson(lambda) update model or
+        ``"auction"`` for the eBay-like auction trace (the real-world
+        substitute used by Figure 3).
+    """
+    seed = config.seed + 1013 * repetition
+    epoch = config.epoch
+    resource_ids = list(range(config.num_resources))
+    if source == "poisson":
+        model = PoissonUpdateModel(config.intensity, seed=seed)
+        trace = model.generate(resource_ids, epoch)
+    elif source == "auction":
+        synthesizer = AuctionTraceSynthesizer(
+            config.num_resources, epoch,
+            mean_bids=max(1.0, config.intensity), seed=seed)
+        trace = synthesizer.generate()
+    else:
+        raise ValueError(f"unknown trace source {source!r}")
+    generator = ProfileGenerator(GeneratorConfig(
+        num_profiles=config.num_profiles,
+        max_rank=config.max_rank,
+        alpha=config.alpha,
+        beta=config.beta,
+        window=config.window,
+        grouping=config.grouping,
+        seed=seed + 1,
+    ))
+    profiles = generator.generate(trace, epoch,
+                                  resource_ids=resource_ids)
+    return trace, profiles
+
+
+def run_setting(config: ExperimentConfig,
+                policies: Sequence[str] = DEFAULT_POLICIES,
+                include_offline: bool = False,
+                source: str = "poisson") -> RunOutcome:
+    """Run every policy on ``repetitions`` shared instances and aggregate."""
+    gc_acc: dict[str, list[float]] = {label: [] for label in policies}
+    rt_acc: dict[str, list[float]] = {label: [] for label in policies}
+    if include_offline:
+        gc_acc[OFFLINE_LABEL] = []
+        rt_acc[OFFLINE_LABEL] = []
+
+    for repetition in range(config.repetitions):
+        _trace, profiles = make_instance(config, repetition, source=source)
+        for label in policies:
+            policy, preemptive = parse_policy_spec(label)
+            result = run_online(profiles, config.epoch,
+                                config.budget_vector, policy,
+                                preemptive=preemptive)
+            gc_acc[label].append(result.gc)
+            rt_acc[label].append(result.runtime_seconds)
+        if include_offline:
+            result = LocalRatioApproximation().solve(
+                profiles, config.epoch, config.budget_vector)
+            gc_acc[OFFLINE_LABEL].append(result.gc)
+            rt_acc[OFFLINE_LABEL].append(result.runtime_seconds)
+
+    outcomes = {
+        label: PolicyOutcome(label, tuple(gc_acc[label]),
+                             tuple(rt_acc[label]))
+        for label in gc_acc
+    }
+    return RunOutcome(config=config, outcomes=outcomes)
+
+
+def sweep(name: str, base: ExperimentConfig, parameter: str,
+          values: Sequence, policies: Sequence[str] = DEFAULT_POLICIES,
+          include_offline: bool = False,
+          source: str = "poisson") -> SweepResult:
+    """Sweep one config field over ``values``, rerunning all policies."""
+    runs = []
+    for value in values:
+        config = base.with_(**{parameter: value})
+        runs.append(run_setting(config, policies,
+                                include_offline=include_offline,
+                                source=source))
+    return SweepResult(name=name, parameter=parameter,
+                       x_values=tuple(values), runs=tuple(runs))

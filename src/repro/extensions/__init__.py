@@ -1,0 +1,27 @@
+"""Extensions implementing the paper's §6 future-work items."""
+
+from repro.extensions.partial import (
+    QuotaMap,
+    QuotaMRSFPolicy,
+    QuotaTIntervalState,
+    quota_completeness,
+    run_with_quotas,
+)
+from repro.extensions.utilities import (
+    UtilityWeightedPolicy,
+    UtilityWeights,
+    run_weighted,
+    weighted_completeness,
+)
+
+__all__ = [
+    "QuotaMap",
+    "QuotaMRSFPolicy",
+    "QuotaTIntervalState",
+    "UtilityWeightedPolicy",
+    "UtilityWeights",
+    "quota_completeness",
+    "run_weighted",
+    "run_with_quotas",
+    "weighted_completeness",
+]

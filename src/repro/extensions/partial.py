@@ -1,0 +1,165 @@
+"""Partial (quota / k-of-n) t-intervals (paper §6, second future-work item).
+
+"We further intend to extend the notion of t-intervals to a more general
+construction which allow also alternatives (e.g., capture of a subset of
+execution intervals)."
+
+A *quota* assigns each t-interval the minimum number of its EIs that must
+be captured for the t-interval to count. ``quota == len(eta)`` recovers the
+paper's all-or-nothing semantics; ``quota == 1`` is pure alternatives.
+
+The extension reuses the standard proxy loop through the simulator's
+``state_factory`` hook: :class:`QuotaTIntervalState` redefines completion
+("enough EIs captured") and expiry ("the quota is no longer reachable").
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.core.budget import BudgetVector
+from repro.core.profile import ProfileSet
+from repro.core.schedule import Schedule
+from repro.core.timeline import Chronon, Epoch
+from repro.online.base import Candidate, Policy, TIntervalState
+from repro.online.mrsf import MRSFPolicy
+from repro.simulation.proxy import ProxySimulator
+from repro.simulation.result import SimulationResult
+
+__all__ = [
+    "QuotaMap",
+    "QuotaTIntervalState",
+    "QuotaMRSFPolicy",
+    "quota_completeness",
+    "run_with_quotas",
+]
+
+TKey = tuple[int, int]
+
+
+class QuotaMap:
+    """Per-t-interval capture quotas.
+
+    Parameters
+    ----------
+    quotas:
+        Explicit ``(profile_id, tinterval_id) -> quota`` entries; a
+        missing entry defaults to the t-interval's size (all EIs
+        required, i.e. the paper's base semantics).
+
+    Raises
+    ------
+    ValueError
+        For quotas < 1 (a t-interval requiring nothing is meaningless).
+    """
+
+    def __init__(self, quotas: Mapping[TKey, int] | None = None) -> None:
+        self._quotas = dict(quotas or {})
+        for key, quota in self._quotas.items():
+            if quota < 1:
+                raise ValueError(
+                    f"quota must be >= 1, got {quota} for {key}"
+                )
+
+    @classmethod
+    def all_required(cls) -> "QuotaMap":
+        """The identity quota map (paper's base semantics)."""
+        return cls()
+
+    @classmethod
+    def any_of(cls, profiles: ProfileSet) -> "QuotaMap":
+        """Quota 1 everywhere: any captured EI satisfies its t-interval."""
+        return cls({(eta.profile_id, eta.tinterval_id): 1
+                    for eta in profiles.tintervals()})
+
+    def quota_for(self, eta) -> int:
+        """Effective quota of one t-interval (clamped to its size)."""
+        quota = self._quotas.get((eta.profile_id, eta.tinterval_id),
+                                 eta.size)
+        return min(quota, eta.size)
+
+
+class QuotaTIntervalState(TIntervalState):
+    """t-interval runtime state with quota-based completion semantics."""
+
+    __slots__ = ("quota",)
+
+    def __init__(self, eta, profile_rank: int, quota: int) -> None:
+        super().__init__(eta, profile_rank)
+        if quota < 1:
+            raise ValueError(f"quota must be >= 1, got {quota}")
+        self.quota = min(quota, len(eta))
+
+    @property
+    def is_complete(self) -> bool:
+        """True once the quota is met."""
+        return self.captured_count >= self.quota
+
+    def is_expired(self, chronon: Chronon) -> bool:
+        """True once the quota is unreachable.
+
+        Unreachable means: captured EIs plus EIs that can still be
+        captured (deadline not passed) fall short of the quota.
+        """
+        reachable = self.captured_count + sum(
+            1 for ei in self.eta
+            if not self.captured[ei.ei_id] and not ei.expired_at(chronon)
+        )
+        return reachable < self.quota
+
+    @property
+    def residual(self) -> int:
+        """EIs still needed to reach the quota (not to capture them all)."""
+        return max(0, self.quota - self.captured_count)
+
+
+class QuotaMRSFPolicy(Policy):
+    """MRSF generalized to quotas: fewest EIs *to the quota* first.
+
+    On all-required quotas this coincides with the paper's MRSF ordering
+    whenever profile ranks equal t-interval sizes, and refines it toward
+    the actual remaining work otherwise.
+    """
+
+    name = "Q-MRSF"
+    level = "rank"
+
+    def score(self, candidate: Candidate, chronon: Chronon) -> float:
+        state = candidate.state
+        if isinstance(state, QuotaTIntervalState):
+            return float(state.residual)
+        return float(state.profile_rank - state.captured_count)
+
+
+def quota_completeness(profiles: ProfileSet, schedule: Schedule,
+                       quotas: QuotaMap) -> float:
+    """Fraction of t-intervals whose quota the schedule meets."""
+    total = 0
+    captured = 0
+    for eta in profiles.tintervals():
+        total += 1
+        hits = sum(1 for ei in eta if schedule.captures_ei(ei))
+        if hits >= quotas.quota_for(eta):
+            captured += 1
+    if total == 0:
+        return 1.0
+    return captured / total
+
+
+def run_with_quotas(profiles: ProfileSet, epoch: Epoch,
+                    budget: BudgetVector, policy: Policy,
+                    quotas: QuotaMap,
+                    preemptive: bool = True) -> SimulationResult:
+    """Online run under quota semantics.
+
+    The returned result's report counts a t-interval as captured when its
+    quota was met during the run.
+    """
+    def factory(eta, profile_rank: int) -> QuotaTIntervalState:
+        return QuotaTIntervalState(eta, profile_rank,
+                                   quotas.quota_for(eta))
+
+    simulator = ProxySimulator(profiles, epoch, budget, policy,
+                               preemptive=preemptive,
+                               state_factory=factory)
+    return simulator.run()

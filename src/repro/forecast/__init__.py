@@ -1,0 +1,27 @@
+"""Stochastic EI generation: estimators, predicted traces, evaluation."""
+
+from repro.forecast.estimators import (
+    AdaptiveEstimator,
+    FittedResource,
+    PeriodicityEstimator,
+    PoissonRateEstimator,
+    UpdateEstimator,
+    fit_trace,
+)
+from repro.forecast.evaluation import (
+    KnowledgeGapResult,
+    evaluate_knowledge_gap,
+)
+from repro.forecast.prediction import ForecastUpdateModel
+
+__all__ = [
+    "AdaptiveEstimator",
+    "FittedResource",
+    "ForecastUpdateModel",
+    "KnowledgeGapResult",
+    "PeriodicityEstimator",
+    "PoissonRateEstimator",
+    "UpdateEstimator",
+    "evaluate_knowledge_gap",
+    "fit_trace",
+]

@@ -1,0 +1,183 @@
+"""Update-behavior estimators fitted on trace history.
+
+The paper's execution intervals are generated either from perfect
+knowledge of the update trace (FPN(1)) or "based on stochastic modeling"
+(its reference [9]). This module provides the stochastic side: estimators
+that fit a resource's update behavior on a training prefix and predict
+future update chronons, from which execution intervals are derived exactly
+as for real updates.
+
+Estimators:
+
+* :class:`PoissonRateEstimator` — MLE update rate; predictions are the
+  expected-arrival grid (one update every ``1/rate`` chronons).
+* :class:`PeriodicityEstimator` — median inter-update gap with the phase
+  anchored at the last observed update; suits hourly-style feeds.
+* :class:`AdaptiveEstimator` — per resource, picks periodic when the gap
+  coefficient of variation is low, Poisson otherwise.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.errors import ModelError
+from repro.core.timeline import Chronon
+from repro.traces.events import UpdateTrace
+
+__all__ = [
+    "FittedResource",
+    "UpdateEstimator",
+    "PoissonRateEstimator",
+    "PeriodicityEstimator",
+    "AdaptiveEstimator",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class FittedResource:
+    """Per-resource fit: prediction anchor and expected gap.
+
+    Attributes
+    ----------
+    resource_id:
+        The fitted resource.
+    last_update:
+        Last observed update chronon in the training window (0 if none).
+    gap:
+        Predicted inter-update gap in chronons (``None`` = no prediction —
+        the resource showed no usable history).
+    model:
+        Which model produced the fit ("poisson", "periodic", "silent").
+    """
+
+    resource_id: int
+    last_update: Chronon
+    gap: float | None
+    model: str
+
+    def predict(self, horizon: Chronon) -> list[Chronon]:
+        """Predicted update chronons in ``(last_update, horizon]``."""
+        if self.gap is None or self.gap <= 0:
+            return []
+        predictions: list[Chronon] = []
+        time = float(self.last_update)
+        while True:
+            time += self.gap
+            chronon = round(time)
+            if chronon > horizon:
+                break
+            if chronon >= 1 and (not predictions
+                                 or chronon > predictions[-1]):
+                predictions.append(chronon)
+        return predictions
+
+
+class UpdateEstimator(Protocol):
+    """Anything that can fit one resource's update history."""
+
+    def fit_resource(self, resource_id: int,
+                     update_chronons: list[Chronon],
+                     train_end: Chronon) -> FittedResource:
+        """Fit one resource given its training-window update chronons."""
+        ...
+
+
+class PoissonRateEstimator:
+    """MLE Poisson rate: ``count / train_window`` updates per chronon.
+
+    Predictions are the expected-arrival grid — an update every
+    ``1 / rate`` chronons after the last observed one. With fewer than
+    ``min_updates`` observations the resource is left unpredicted.
+    """
+
+    def __init__(self, min_updates: int = 2) -> None:
+        if min_updates < 1:
+            raise ModelError(f"min_updates must be >= 1, got {min_updates}")
+        self._min_updates = min_updates
+
+    def fit_resource(self, resource_id: int,
+                     update_chronons: list[Chronon],
+                     train_end: Chronon) -> FittedResource:
+        """Fit the MLE Poisson rate on the training prefix."""
+        if train_end < 1:
+            raise ModelError(f"train_end must be >= 1, got {train_end}")
+        history = [c for c in update_chronons if c <= train_end]
+        if len(history) < self._min_updates:
+            return FittedResource(resource_id, 0, None, "silent")
+        rate = len(history) / train_end
+        return FittedResource(resource_id, history[-1], 1.0 / rate,
+                              "poisson")
+
+
+class PeriodicityEstimator:
+    """Median inter-update gap, anchored at the last observed update.
+
+    Requires at least ``min_updates`` observations (hence at least one
+    gap); robust to a few irregular gaps via the median.
+    """
+
+    def __init__(self, min_updates: int = 3) -> None:
+        if min_updates < 2:
+            raise ModelError(f"min_updates must be >= 2, got {min_updates}")
+        self._min_updates = min_updates
+
+    def fit_resource(self, resource_id: int,
+                     update_chronons: list[Chronon],
+                     train_end: Chronon) -> FittedResource:
+        """Fit the median inter-update gap on the training prefix."""
+        history = [c for c in update_chronons if c <= train_end]
+        if len(history) < self._min_updates:
+            return FittedResource(resource_id, 0, None, "silent")
+        gaps = [right - left for left, right in zip(history, history[1:])]
+        period = float(statistics.median(gaps))
+        if period <= 0:
+            return FittedResource(resource_id, 0, None, "silent")
+        return FittedResource(resource_id, history[-1], period,
+                              "periodic")
+
+
+class AdaptiveEstimator:
+    """Periodic fit when the gap CV is low, Poisson otherwise.
+
+    The coefficient of variation of inter-update gaps distinguishes
+    clockwork feeds (CV near 0) from bursty Poisson-like sources (CV near
+    1). ``cv_threshold`` sets the switch point.
+    """
+
+    def __init__(self, cv_threshold: float = 0.4,
+                 min_updates: int = 3) -> None:
+        if cv_threshold <= 0:
+            raise ModelError("cv_threshold must be positive")
+        self._cv_threshold = cv_threshold
+        self._periodic = PeriodicityEstimator(min_updates=min_updates)
+        self._poisson = PoissonRateEstimator(min_updates=2)
+
+    def fit_resource(self, resource_id: int,
+                     update_chronons: list[Chronon],
+                     train_end: Chronon) -> FittedResource:
+        """Fit periodic when the gap CV is low, else Poisson."""
+        history = [c for c in update_chronons if c <= train_end]
+        if len(history) >= 3:
+            gaps = [right - left
+                    for left, right in zip(history, history[1:])]
+            mean_gap = statistics.fmean(gaps)
+            if mean_gap > 0:
+                deviation = statistics.pstdev(gaps)
+                if deviation / mean_gap <= self._cv_threshold:
+                    return self._periodic.fit_resource(
+                        resource_id, update_chronons, train_end)
+        return self._poisson.fit_resource(resource_id, update_chronons,
+                                          train_end)
+
+
+def fit_trace(estimator: UpdateEstimator, trace: UpdateTrace,
+              train_end: Chronon) -> dict[int, FittedResource]:
+    """Fit every resource of a trace on its training prefix."""
+    return {
+        resource_id: estimator.fit_resource(
+            resource_id, trace.update_chronons(resource_id), train_end)
+        for resource_id in trace.resource_ids
+    }

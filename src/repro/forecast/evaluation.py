@@ -1,0 +1,109 @@
+"""Knowledge-gap evaluation: perfect vs predicted execution intervals.
+
+The paper's experiments assume FPN(1) — perfect knowledge of the update
+trace. This module measures how much completeness an online policy loses
+when EIs come from *predictions* instead:
+
+1. fit an estimator on the training prefix;
+2. build profiles from the **predicted** trace and schedule against them;
+3. judge the resulting probe schedule against the profiles built from the
+   **actual** trace (same resources, same template, same parameters);
+4. compare with the FPN(1) upper line (scheduling directly against the
+   actual profiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.budget import BudgetVector
+from repro.core.completeness import evaluate_schedule
+from repro.core.timeline import Chronon, Epoch
+from repro.forecast.estimators import UpdateEstimator
+from repro.forecast.prediction import ForecastUpdateModel
+from repro.online.base import Policy
+from repro.simulation.proxy import run_online
+from repro.traces.events import UpdateTrace
+from repro.workloads.generator import GeneratorConfig, ProfileGenerator
+
+__all__ = ["KnowledgeGapResult", "evaluate_knowledge_gap"]
+
+
+@dataclass(frozen=True, slots=True)
+class KnowledgeGapResult:
+    """Outcome of one perfect-vs-predicted comparison.
+
+    Attributes
+    ----------
+    gc_perfect:
+        GC with FPN(1) (perfect knowledge) — the upper line.
+    gc_predicted:
+        GC of the schedule built from predictions, judged against the
+        actual t-intervals.
+    predicted_events, actual_events:
+        Evaluation-window event counts (prediction volume sanity).
+    """
+
+    gc_perfect: float
+    gc_predicted: float
+    predicted_events: int
+    actual_events: int
+
+    @property
+    def degradation(self) -> float:
+        """``1 - gc_predicted / gc_perfect`` (0 = no loss); 0 when the
+        perfect line is itself 0."""
+        if self.gc_perfect == 0:
+            return 0.0
+        return max(0.0, 1.0 - self.gc_predicted / self.gc_perfect)
+
+
+def evaluate_knowledge_gap(ground_truth: UpdateTrace,
+                           estimator: UpdateEstimator,
+                           train_end: Chronon,
+                           generator_config: GeneratorConfig,
+                           epoch: Epoch,
+                           budget: BudgetVector,
+                           policy: Policy,
+                           preemptive: bool = True
+                           ) -> KnowledgeGapResult:
+    """Run the perfect-vs-predicted comparison on one trace.
+
+    The same generator configuration (and seed) is applied to the
+    predicted and the actual evaluation-window traces with an identical
+    popularity ordering, so the two profile sets watch the same resources
+    and differ only in where the EIs fall.
+    """
+    model = ForecastUpdateModel(ground_truth, estimator, train_end)
+    predicted_trace = model.generate(ground_truth.resource_ids, epoch)
+    actual_trace = model.actual_window(epoch)
+
+    # One popularity ordering for both generations (derived from the
+    # training prefix — the only data the proxy legitimately has).
+    ordering = sorted(
+        ground_truth.resource_ids,
+        key=lambda rid: (-sum(1 for c in
+                              ground_truth.update_chronons(rid)
+                              if c <= train_end), rid),
+    )
+    generator = ProfileGenerator(generator_config)
+    predicted_profiles = generator.generate(predicted_trace, epoch,
+                                            resource_ids=ordering)
+    actual_profiles = generator.generate(actual_trace, epoch,
+                                         resource_ids=ordering)
+
+    # Perfect-knowledge upper line.
+    perfect = run_online(actual_profiles, epoch, budget, policy,
+                         preemptive=preemptive)
+
+    # Predicted scheduling, judged against reality.
+    predicted_run = run_online(predicted_profiles, epoch, budget, policy,
+                               preemptive=preemptive)
+    judged = evaluate_schedule(actual_profiles, predicted_run.schedule)
+
+    return KnowledgeGapResult(
+        gc_perfect=perfect.gc,
+        gc_predicted=judged.gc,
+        predicted_events=len(predicted_trace),
+        actual_events=len(actual_trace),
+    )

@@ -1,0 +1,79 @@
+"""Predicted update traces: the stochastic counterpart of FPN(1).
+
+:class:`ForecastUpdateModel` fits an estimator on the training prefix of a
+ground-truth trace and emits a *predicted* trace for the evaluation
+window. Feeding the predicted trace into the ordinary profile generator
+produces predicted execution intervals — the proxy schedules against what
+it *believes* will happen, and is judged against what *actually* happened
+(see :mod:`repro.forecast.evaluation`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import ModelError
+from repro.core.timeline import Chronon, Epoch
+from repro.forecast.estimators import UpdateEstimator, fit_trace
+from repro.traces.events import UpdateEvent, UpdateTrace
+
+__all__ = ["ForecastUpdateModel"]
+
+
+class ForecastUpdateModel:
+    """Predicts updates for the window after ``train_end``.
+
+    Parameters
+    ----------
+    ground_truth:
+        The full real trace; only its prefix up to ``train_end`` is used
+        for fitting (no test-window leakage).
+    estimator:
+        Per-resource update estimator.
+    train_end:
+        Last chronon of the training window (must precede the epoch end).
+    """
+
+    def __init__(self, ground_truth: UpdateTrace,
+                 estimator: UpdateEstimator, train_end: Chronon) -> None:
+        if train_end < 1:
+            raise ModelError(f"train_end must be >= 1, got {train_end}")
+        if train_end >= ground_truth.epoch.last:
+            raise ModelError(
+                f"train_end {train_end} leaves no evaluation window "
+                f"(epoch ends at {ground_truth.epoch.last})"
+            )
+        self._ground_truth = ground_truth
+        self._estimator = estimator
+        self.train_end = train_end
+        self._fits = fit_trace(estimator, ground_truth, train_end)
+
+    def fit_for(self, resource_id: int):
+        """The per-resource fit (None for resources absent from the
+        trace)."""
+        return self._fits.get(resource_id)
+
+    def generate(self, resource_ids: Sequence[int],
+                 epoch: Epoch) -> UpdateTrace:
+        """The predicted trace over ``(train_end, epoch.last]``.
+
+        Predicted events carry a ``predicted`` payload marker. Resources
+        without a usable fit contribute no predictions.
+        """
+        events: list[UpdateEvent] = []
+        for resource_id in resource_ids:
+            fit = self._fits.get(resource_id)
+            if fit is None or fit.gap is None:
+                continue
+            for chronon in fit.predict(epoch.last):
+                if chronon > self.train_end:
+                    events.append(UpdateEvent(chronon, resource_id,
+                                              payload="predicted"))
+        return UpdateTrace(events, epoch)
+
+    def actual_window(self, epoch: Epoch) -> UpdateTrace:
+        """The ground-truth events of the evaluation window."""
+        events = [event for event in self._ground_truth
+                  if event.chronon > self.train_end
+                  and event.chronon <= epoch.last]
+        return UpdateTrace(events, epoch)

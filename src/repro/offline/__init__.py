@@ -1,0 +1,28 @@
+"""Offline solvers: exact enumeration, MILP, and the Local-Ratio scheme."""
+
+from repro.offline.conflict import (
+    demand_map,
+    overlap_graph,
+    self_infeasible,
+    unit_conflict_graph,
+)
+from repro.offline.enumeration import EnumerationSolver
+from repro.offline.greedy import GreedyOfflineSolver
+from repro.offline.local_ratio import LocalRatioApproximation
+from repro.offline.matching import ProbeAssigner
+from repro.offline.milp import MILPSolver
+from repro.offline.transform import UnitWidthExpansion, expand_to_unit_width
+
+__all__ = [
+    "EnumerationSolver",
+    "GreedyOfflineSolver",
+    "LocalRatioApproximation",
+    "MILPSolver",
+    "ProbeAssigner",
+    "UnitWidthExpansion",
+    "demand_map",
+    "expand_to_unit_width",
+    "overlap_graph",
+    "self_infeasible",
+    "unit_conflict_graph",
+]

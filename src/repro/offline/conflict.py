@@ -1,0 +1,135 @@
+"""Conflict structure of t-intervals (split-interval graphs).
+
+The Local-Ratio approximation (Section 4.1.2) works on the *conflict graph*
+of t-intervals. For unit-width instances (``P^[1]``) the conflict relation
+is exact:
+
+    two t-intervals conflict at chronon ``j`` with budget ``C_j`` iff the
+    union of the *distinct resources* both need at ``j`` exceeds ``C_j``
+    (EIs of the same resource at the same chronon share one probe, so they
+    never conflict with each other).
+
+For general instances we use the conservative *time-overlap* relation —
+two t-intervals are neighbors when any of their EI windows intersect in
+time — which over-approximates true conflicts; the Local-Ratio unwind then
+enforces real feasibility by matching (see ``local_ratio``).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.budget import BudgetVector
+from repro.core.intervals import TInterval
+from repro.core.profile import ProfileSet
+
+__all__ = [
+    "demand_map",
+    "unit_conflict_graph",
+    "overlap_graph",
+    "self_infeasible",
+]
+
+# Key type for t-intervals in graphs: (profile_id, tinterval_id).
+TKey = tuple[int, int]
+
+
+def demand_map(eta: TInterval) -> dict[int, set[int]]:
+    """``chronon -> set of resources`` the t-interval needs, unit-width EIs.
+
+    Only meaningful for unit-width t-intervals: a unit EI *must* be probed
+    at its single chronon. EIs of the same resource at the same chronon
+    merge into one demand.
+    """
+    demands: dict[int, set[int]] = {}
+    for ei in eta:
+        demands.setdefault(ei.start, set()).add(ei.resource_id)
+    return demands
+
+
+def self_infeasible(eta: TInterval, budget: BudgetVector) -> bool:
+    """True when a unit-width t-interval alone exceeds some chronon budget.
+
+    Such t-intervals can never be captured (they need more simultaneous
+    probes than the budget allows) and are excluded up front.
+    """
+    if not eta.is_unit_width:
+        return False
+    return any(len(resources) > budget.at(chronon)
+               for chronon, resources in demand_map(eta).items())
+
+
+def unit_conflict_graph(profiles: ProfileSet,
+                        budget: BudgetVector) -> nx.Graph:
+    """Exact conflict graph of a ``P^[1]`` profile set.
+
+    Nodes are ``(profile_id, tinterval_id)`` keys; node attribute ``eta``
+    holds the t-interval. Self-infeasible t-intervals are omitted.
+
+    Raises
+    ------
+    ValueError
+        If the profile set is not unit-width.
+    """
+    if not profiles.is_unit_width:
+        raise ValueError("unit_conflict_graph requires a P^[1] profile set")
+    graph = nx.Graph()
+    demands: dict[TKey, dict[int, set[int]]] = {}
+    for eta in profiles.tintervals():
+        if self_infeasible(eta, budget):
+            continue
+        key = (eta.profile_id, eta.tinterval_id)
+        graph.add_node(key, eta=eta)
+        demands[key] = demand_map(eta)
+
+    # Index t-intervals by chronon for pairwise checks.
+    by_chronon: dict[int, list[TKey]] = {}
+    for key, demand in demands.items():
+        for chronon in demand:
+            by_chronon.setdefault(chronon, []).append(key)
+
+    for chronon, keys in by_chronon.items():
+        capacity = budget.at(chronon)
+        for index, left in enumerate(keys):
+            left_resources = demands[left][chronon]
+            for right in keys[index + 1:]:
+                joint = left_resources | demands[right][chronon]
+                if len(joint) > capacity:
+                    graph.add_edge(left, right)
+    return graph
+
+
+def overlap_graph(profiles: ProfileSet) -> nx.Graph:
+    """Conservative time-overlap graph for general profile sets.
+
+    Two t-intervals are adjacent when any pair of their EI windows
+    intersects in time (regardless of resource). This is a superset of the
+    true conflict relation; used only to drive the Local-Ratio weight
+    decomposition for non-unit instances.
+    """
+    graph = nx.Graph()
+    spans: list[tuple[TKey, int, int]] = []
+    for eta in profiles.tintervals():
+        key = (eta.profile_id, eta.tinterval_id)
+        graph.add_node(key, eta=eta)
+        spans.append((key, eta.earliest_start, eta.latest_finish))
+
+    # Sweep over span intersections; per-EI precision is applied pairwise.
+    etas = {key: graph.nodes[key]["eta"] for key, _s, _f in spans}
+    spans.sort(key=lambda item: item[1])
+    for index, (left_key, left_start, left_finish) in enumerate(spans):
+        for right_key, right_start, _right_finish in spans[index + 1:]:
+            if right_start > left_finish:
+                break
+            if _eis_overlap(etas[left_key], etas[right_key]):
+                graph.add_edge(left_key, right_key)
+    return graph
+
+
+def _eis_overlap(left: TInterval, right: TInterval) -> bool:
+    """True if any EI window of ``left`` intersects any of ``right``."""
+    for ei_left in left:
+        for ei_right in right:
+            if ei_left.overlaps(ei_right):
+                return True
+    return False

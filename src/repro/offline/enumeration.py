@@ -1,0 +1,195 @@
+"""Exact offline solver by schedule enumeration (Lemma 1).
+
+The paper shows Problem 1 is solvable by full enumeration of feasible
+schedules in ``O(n^(K * C_max))`` time — polynomial in ``n`` but
+prohibitive for realistic ``K``. This module implements that enumeration
+as a memoized depth-first search over chronons, usable (and used in tests)
+as ground truth on tiny instances.
+
+Key observations that keep the search sound and as small as possible:
+
+* capture state is monotone — probing more resources never hurts — so at
+  every chronon it suffices to branch over subsets of *useful* resources
+  (those with an active uncaptured EI) of size exactly
+  ``min(C_j, #useful)``;
+* the value function depends only on ``(chronon, captured-EI set)``, so
+  results are memoized on that pair;
+* chronons with no useful resource are skipped outright.
+
+A node-count guard raises :class:`SolverCapacityError` instead of silently
+burning hours, honoring the Lemma-1 warning.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import combinations
+
+from repro.core.budget import BudgetVector
+from repro.core.completeness import evaluate_schedule
+from repro.core.errors import SolverCapacityError
+from repro.core.profile import ProfileSet
+from repro.core.schedule import Schedule
+from repro.core.timeline import Epoch
+from repro.simulation.result import SimulationResult
+
+__all__ = ["EnumerationSolver"]
+
+
+class EnumerationSolver:
+    """Optimal schedules for tiny instances via memoized enumeration.
+
+    Parameters
+    ----------
+    node_limit:
+        Maximum number of DFS nodes to expand before raising
+        :class:`SolverCapacityError` (default 2 million).
+    """
+
+    def __init__(self, node_limit: int = 2_000_000) -> None:
+        if node_limit < 1:
+            raise ValueError(f"node_limit must be >= 1, got {node_limit}")
+        self._node_limit = node_limit
+
+    def solve(self, profiles: ProfileSet, epoch: Epoch,
+              budget: BudgetVector) -> SimulationResult:
+        """Compute an optimal schedule, maximizing captured t-intervals.
+
+        Raises
+        ------
+        SolverCapacityError
+            When the search exceeds the configured node limit.
+        """
+        started = time.perf_counter()
+
+        # Flatten EIs with global indexes; group t-interval membership.
+        eis: list[tuple[int, int, int]] = []  # (resource, start, finish)
+        tinterval_members: list[list[int]] = []
+        for eta in profiles.tintervals():
+            members = []
+            for ei in eta:
+                members.append(len(eis))
+                eis.append((ei.resource_id, ei.start, ei.finish))
+            tinterval_members.append(members)
+
+        if len(eis) > 63:
+            raise SolverCapacityError(
+                f"enumeration supports at most 63 EIs, got {len(eis)}"
+            )
+
+        # Index: chronon -> list of EI indexes active there.
+        active_at: dict[int, list[int]] = {}
+        for index, (_resource, start, finish) in enumerate(eis):
+            for chronon in range(max(1, start),
+                                 min(epoch.last, finish) + 1):
+                active_at.setdefault(chronon, []).append(index)
+        interesting = sorted(active_at)
+
+        full_masks = [self._mask(members) for members in tinterval_members]
+
+        memo: dict[tuple[int, int], int] = {}
+        nodes = 0
+
+        def captured_value(mask: int) -> int:
+            return sum(1 for full in full_masks if mask & full == full)
+
+        def search(position: int, mask: int) -> int:
+            nonlocal nodes
+            if position >= len(interesting):
+                return 0
+            key = (position, mask)
+            hit = memo.get(key)
+            if hit is not None:
+                return hit
+            nodes += 1
+            if nodes > self._node_limit:
+                raise SolverCapacityError(
+                    f"enumeration exceeded {self._node_limit} nodes"
+                )
+            chronon = interesting[position]
+            pending = [index for index in active_at[chronon]
+                       if not mask & (1 << index)]
+            useful = sorted({eis[index][0] for index in pending})
+            capacity = min(budget.at(chronon), len(useful))
+            best = 0
+            if capacity == 0 or not useful:
+                best = search(position + 1, mask)
+            else:
+                for subset in combinations(useful, capacity):
+                    probed = set(subset)
+                    new_mask = mask
+                    for index in pending:
+                        if eis[index][0] in probed:
+                            new_mask |= 1 << index
+                    gained = (captured_value(new_mask)
+                              - captured_value(mask))
+                    best = max(best,
+                               gained + search(position + 1, new_mask))
+            memo[key] = best
+            return best
+
+        best_value = search(0, 0)
+        schedule = self._reconstruct(best_value, interesting, active_at,
+                                     eis, full_masks, budget, memo)
+        runtime = time.perf_counter() - started
+        report = evaluate_schedule(profiles, schedule)
+        return SimulationResult(
+            label="offline-enumeration",
+            schedule=schedule,
+            report=report,
+            probes_used=len(schedule),
+            runtime_seconds=runtime,
+            extras={"dfs_nodes": float(nodes),
+                    "optimal_value": float(best_value)},
+        )
+
+    @staticmethod
+    def _mask(members: list[int]) -> int:
+        mask = 0
+        for index in members:
+            mask |= 1 << index
+        return mask
+
+    def _reconstruct(self, best_value: int, interesting: list[int],
+                     active_at: dict[int, list[int]],
+                     eis: list[tuple[int, int, int]],
+                     full_masks: list[int], budget: BudgetVector,
+                     memo: dict[tuple[int, int], int]) -> Schedule:
+        """Walk the memo table again, re-deriving one optimal schedule."""
+
+        def captured_value(mask: int) -> int:
+            return sum(1 for full in full_masks if mask & full == full)
+
+        schedule = Schedule()
+        mask = 0
+        for position, chronon in enumerate(interesting):
+            target = memo.get((position, mask))
+            if target is None:
+                # Unvisited state (can happen only past the optimum path).
+                break
+            pending = [index for index in active_at[chronon]
+                       if not mask & (1 << index)]
+            useful = sorted({eis[index][0] for index in pending})
+            capacity = min(budget.at(chronon), len(useful))
+            if capacity == 0 or not useful:
+                continue
+            chosen: tuple[int, ...] | None = None
+            chosen_mask = mask
+            for subset in combinations(useful, capacity):
+                probed = set(subset)
+                new_mask = mask
+                for index in pending:
+                    if eis[index][0] in probed:
+                        new_mask |= 1 << index
+                gained = captured_value(new_mask) - captured_value(mask)
+                tail = memo.get((position + 1, new_mask), 0)
+                if gained + tail == target:
+                    chosen = subset
+                    chosen_mask = new_mask
+                    break
+            if chosen is None:
+                continue
+            for resource_id in chosen:
+                schedule.add_probe(resource_id, chronon)
+            mask = chosen_mask
+        return schedule

@@ -1,0 +1,287 @@
+"""Offline approximation via the (fractional) Local-Ratio scheme.
+
+Section 4.1.2: the paper adopts Bar-Yehuda et al.'s Local-Ratio algorithm
+for scheduling split intervals (t-intervals), which guarantees a
+``2k``-approximation on ``P^[1]`` inputs with ``C_max = 1`` (``2k + 1`` for
+``C_max > 1``) and, lifted through Proposition 2, ``2k + 2`` /
+``2k + 3``-approximations on general inputs.
+
+Implementation outline (fractional local ratio, LP solved once):
+
+1. **Filter** self-infeasible t-intervals (need more simultaneous probes
+   than the budget allows).
+2. **Fractional guidance** ``x*``: for ``P^[1]`` inputs we solve the LP
+   relaxation ``max sum x_eta`` s.t. per chronon
+   ``sum_eta load_eta(j) * x_eta <= C_j``, where ``load_eta(j)`` counts the
+   distinct resources ``eta`` needs at ``j``. For general inputs the
+   window-smeared density ``sum_{EI active at j} 1/width(EI)`` is used
+   (guidance only — the formal ratio is stated for ``P^[1]``, matching the
+   setting the paper evaluates the approximation in, cf. §5.3).
+3. **Weight decomposition**: repeatedly pick the remaining t-interval
+   minimizing the ``x*``-mass of its closed neighborhood in the conflict
+   graph, subtract its weight from that neighborhood, and push it on a
+   stack — the classic local-ratio round.
+4. **Unwind** in reverse stack order, greedily accepting every t-interval
+   that stays *jointly schedulable* with the accepted set; schedulability
+   and the final probe schedule come from incremental bipartite matching
+   (:class:`repro.offline.matching.ProbeAssigner`).
+
+Gained completeness is evaluated against the produced schedule, so any
+free-rider captures (shared probes) are credited.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.core.budget import BudgetVector
+from repro.core.completeness import CompletenessReport, evaluate_schedule
+from repro.core.intervals import TInterval
+from repro.core.profile import ProfileSet
+from repro.core.timeline import Epoch
+from repro.offline.conflict import (
+    overlap_graph,
+    self_infeasible,
+    unit_conflict_graph,
+)
+from repro.offline.matching import ProbeAssigner
+from repro.simulation.result import SimulationResult
+
+__all__ = ["LocalRatioApproximation"]
+
+TKey = tuple[int, int]
+
+
+class LocalRatioApproximation:
+    """The paper's offline approximation (Local-Ratio + matching).
+
+    Parameters
+    ----------
+    use_lp:
+        Solve the guidance LP (default). When False — or when the LP
+        exceeds ``max_lp_variables`` — uniform guidance is used instead,
+        degrading gracefully to plain (non-fractional) local ratio.
+    max_lp_variables:
+        Cap on LP variable count before falling back to uniform guidance.
+    """
+
+    def __init__(self, use_lp: bool = True,
+                 max_lp_variables: int = 50_000) -> None:
+        self._use_lp = use_lp
+        self._max_lp_variables = max_lp_variables
+
+    def solve(self, profiles: ProfileSet, epoch: Epoch,
+              budget: BudgetVector) -> SimulationResult:
+        """Produce an approximate schedule and its completeness report."""
+        started = time.perf_counter()
+
+        is_unit = profiles.is_unit_width
+        if is_unit:
+            graph = unit_conflict_graph(profiles, budget)
+        else:
+            graph = overlap_graph(profiles)
+            for eta in profiles.tintervals():
+                if self_infeasible(eta, budget):
+                    key = (eta.profile_id, eta.tinterval_id)
+                    if graph.has_node(key):
+                        graph.remove_node(key)
+
+        keys: list[TKey] = sorted(graph.nodes)
+        etas: dict[TKey, TInterval] = {
+            key: graph.nodes[key]["eta"] for key in keys
+        }
+
+        guidance = self._fractional_guidance(keys, etas, epoch, budget,
+                                             is_unit)
+
+        stack = self._decompose(keys, etas, graph, guidance)
+
+        assigner = ProbeAssigner(epoch, budget)
+        accepted: list[TKey] = []
+        accepted_set: set[TKey] = set()
+        for key in reversed(stack):
+            if assigner.try_add(etas[key]):
+                accepted.append(key)
+                accepted_set.add(key)
+
+        # Greedy completion: t-intervals whose weight was zeroed without
+        # being pushed never reached the stack; trying them afterwards can
+        # only grow the solution (feasibility is checked exactly), so the
+        # local-ratio guarantee is preserved while practical completeness
+        # improves. Order favors cheap, urgent t-intervals.
+        leftovers = sorted(
+            (key for key in keys if key not in accepted_set),
+            key=lambda key: (etas[key].size, etas[key].latest_finish, key),
+        )
+        for key in leftovers:
+            if assigner.try_add(etas[key]):
+                accepted.append(key)
+                accepted_set.add(key)
+
+        schedule = assigner.schedule()
+        runtime = time.perf_counter() - started
+
+        # Paper-faithful accounting: the Local-Ratio scheme's completeness
+        # is the size of the accepted (independent, schedulable) set — the
+        # algorithm does not track captures its probes produce "for free"
+        # on non-accepted t-intervals. Free-rider-credited completeness is
+        # reported in extras for comparison.
+        accepted_by_profile: dict[int, int] = {}
+        for profile_id, _tinterval_id in accepted:
+            accepted_by_profile[profile_id] = (
+                accepted_by_profile.get(profile_id, 0) + 1)
+        per_profile = {
+            profile.profile_id: (
+                accepted_by_profile.get(profile.profile_id, 0),
+                len(profile),
+            )
+            for profile in profiles
+        }
+        per_rank: dict[int, tuple[int, int]] = {}
+        accepted_set_keys = set(accepted)
+        for eta in profiles.tintervals():
+            hits, total = per_rank.get(eta.size, (0, 0))
+            hit = (eta.profile_id, eta.tinterval_id) in accepted_set_keys
+            per_rank[eta.size] = (hits + int(hit), total + 1)
+        report = CompletenessReport(
+            captured=len(accepted),
+            total=profiles.total_tintervals,
+            per_profile=per_profile,
+            per_rank=per_rank,
+        )
+        with_free_riders = evaluate_schedule(profiles, schedule)
+        return SimulationResult(
+            label="offline-approx",
+            schedule=schedule,
+            report=report,
+            probes_used=len(schedule),
+            runtime_seconds=runtime,
+            extras={
+                "accepted": float(len(accepted)),
+                "candidates": float(len(keys)),
+                "unit_width_input": 1.0 if is_unit else 0.0,
+                "gc_with_free_riders": with_free_riders.gc,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Step 2: fractional guidance
+    # ------------------------------------------------------------------
+
+    def _fractional_guidance(self, keys: list[TKey],
+                             etas: dict[TKey, TInterval], epoch: Epoch,
+                             budget: BudgetVector,
+                             is_unit: bool) -> dict[TKey, float]:
+        if not keys:
+            return {}
+        if not self._use_lp or len(keys) > self._max_lp_variables:
+            return {key: 1.0 for key in keys}
+
+        key_index = {key: i for i, key in enumerate(keys)}
+        rows: list[int] = []
+        cols: list[int] = []
+        vals: list[float] = []
+        capacities: list[float] = []
+        chronon_rows: dict[int, int] = {}
+
+        def row_for(chronon: int) -> int:
+            existing = chronon_rows.get(chronon)
+            if existing is None:
+                existing = len(capacities)
+                chronon_rows[chronon] = existing
+                capacities.append(float(budget.at(chronon)))
+            return existing
+
+        for key in keys:
+            eta = etas[key]
+            loads: dict[int, float] = {}
+            if is_unit:
+                per_chronon_resources: dict[int, set[int]] = {}
+                for ei in eta:
+                    per_chronon_resources.setdefault(
+                        ei.start, set()).add(ei.resource_id)
+                for chronon, resources in per_chronon_resources.items():
+                    loads[chronon] = float(len(resources))
+            else:
+                for ei in eta:
+                    smear = 1.0 / ei.width
+                    for chronon in range(max(1, ei.start),
+                                         min(epoch.last, ei.finish) + 1):
+                        loads[chronon] = loads.get(chronon, 0.0) + smear
+            for chronon, load in loads.items():
+                rows.append(row_for(chronon))
+                cols.append(key_index[key])
+                vals.append(load)
+
+        if not capacities:
+            return {key: 1.0 for key in keys}
+        matrix = sparse.csr_matrix(
+            (vals, (rows, cols)), shape=(len(capacities), len(keys)))
+        result = linprog(
+            c=-np.ones(len(keys)),  # maximize sum x
+            A_ub=matrix,
+            b_ub=np.array(capacities),
+            bounds=(0.0, 1.0),
+            method="highs",
+        )
+        if result.x is None:
+            return {key: 1.0 for key in keys}
+        return {key: float(result.x[key_index[key]]) for key in keys}
+
+    # ------------------------------------------------------------------
+    # Step 3: local-ratio weight decomposition
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _decompose(keys: list[TKey], etas: dict[TKey, TInterval],
+                   graph, guidance: dict[TKey, float]) -> list[TKey]:
+        import heapq
+
+        weights = {key: 1.0 for key in keys}
+        remaining = set(keys)
+        stack: list[TKey] = []
+
+        def neighborhood_mass(key: TKey) -> float:
+            mass = guidance.get(key, 1.0)
+            for neighbor in graph.neighbors(key):
+                if neighbor in remaining:
+                    mass += guidance.get(neighbor, 1.0)
+            return mass
+
+        # Lazy min-heap: masses only decrease as keys leave ``remaining``,
+        # so a popped entry is an upper bound on the key's current mass.
+        # Re-evaluating on pop and comparing against the next stored entry
+        # recovers the exact argmin without O(N^2) rescans.
+        heap: list[tuple[float, int, TKey]] = [
+            (neighborhood_mass(key), etas[key].latest_finish, key)
+            for key in keys
+        ]
+        heapq.heapify(heap)
+
+        while remaining:
+            chosen: TKey | None = None
+            while heap:
+                _stale_mass, finish, key = heapq.heappop(heap)
+                if key not in remaining:
+                    continue
+                current = neighborhood_mass(key)
+                if not heap or current <= heap[0][0] + 1e-12:
+                    chosen = key
+                    break
+                heapq.heappush(heap, (current, finish, key))
+            if chosen is None:
+                # Heap drained of live entries; fall back to any survivor.
+                chosen = min(remaining)
+            epsilon = weights[chosen]
+            stack.append(chosen)
+            affected = [chosen] + [n for n in graph.neighbors(chosen)
+                                   if n in remaining]
+            for key in affected:
+                weights[key] -= epsilon
+                if weights[key] <= 1e-12:
+                    remaining.discard(key)
+        return stack

@@ -1,0 +1,169 @@
+"""Probe assignment via incremental bipartite matching.
+
+The offline approximation must decide whether a *set* of t-intervals is
+jointly schedulable under the budget, and if so, produce the actual probe
+schedule. We model this as bipartite matching:
+
+* left nodes — execution intervals, with *identical* EIs (same resource,
+  same window) merged, since one probe inside the shared window serves all
+  of them;
+* right nodes — ``(chronon, slot)`` pairs, one slot per unit of budget.
+
+A t-interval set is schedulable (conservatively — see note) iff every EI
+can be matched to a slot inside its window. We use Kuhn's augmenting-path
+algorithm because it supports *incremental* insertion with rollback, which
+is exactly what the Local-Ratio unwind phase needs.
+
+Note on conservatism: two *different* (non-identical) EIs of the same
+resource with overlapping windows could share one probe, but the matcher
+assigns them distinct slots. The resulting schedule is still feasible, and
+final gained completeness is always evaluated against the produced
+schedule, so shared captures are credited at evaluation time.
+"""
+
+from __future__ import annotations
+
+from repro.core.budget import BudgetVector
+from repro.core.intervals import TInterval
+from repro.core.schedule import Schedule
+from repro.core.timeline import Chronon, Epoch
+
+__all__ = ["ProbeAssigner"]
+
+# Merged EI identity: (resource_id, start, finish).
+EIKey = tuple[int, int, int]
+# A probe slot: (chronon, slot_index).
+Slot = tuple[Chronon, int]
+
+
+class ProbeAssigner:
+    """Incrementally assigns t-intervals' EIs to budgeted probe slots.
+
+    Parameters
+    ----------
+    epoch:
+        The scheduling epoch (slots exist for chronons ``1..K``).
+    budget:
+        Per-chronon slot capacities.
+    """
+
+    def __init__(self, epoch: Epoch, budget: BudgetVector) -> None:
+        self._epoch = epoch
+        self._budget = budget
+        # Matching state: EI key -> slot, slot -> EI key.
+        self._slot_of: dict[EIKey, Slot] = {}
+        self._ei_at: dict[Slot, EIKey] = {}
+        # Reference counts: how many accepted t-intervals use each EI key.
+        self._refcount: dict[EIKey, int] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def try_add(self, eta: TInterval) -> bool:
+        """Attempt to schedule all EIs of ``eta``; all-or-nothing.
+
+        Returns True and keeps the assignments when every EI got a slot
+        (or was already assigned for another accepted t-interval); on
+        failure the matching is left exactly as before the call.
+        """
+        new_keys: list[EIKey] = []
+        for ei in eta:
+            key: EIKey = (ei.resource_id, ei.start, ei.finish)
+            if key in self._slot_of:
+                continue  # identical EI already scheduled: free ride
+            if not self._augment(key):
+                for added in new_keys:
+                    self._unmatch(added)
+                return False
+            new_keys.append(key)
+        for ei in eta:
+            key = (ei.resource_id, ei.start, ei.finish)
+            self._refcount[key] = self._refcount.get(key, 0) + 1
+        return True
+
+    def remove(self, eta: TInterval) -> None:
+        """Release a previously accepted t-interval's assignments."""
+        for ei in eta:
+            key: EIKey = (ei.resource_id, ei.start, ei.finish)
+            count = self._refcount.get(key, 0)
+            if count == 0:
+                continue
+            if count == 1:
+                del self._refcount[key]
+                self._unmatch(key)
+            else:
+                self._refcount[key] = count - 1
+
+    def schedule(self) -> Schedule:
+        """The probe schedule realizing the current matching."""
+        schedule = Schedule()
+        for (resource_id, _start, _finish), (chronon, _slot) \
+                in self._slot_of.items():
+            schedule.add_probe(resource_id, chronon)
+        return schedule
+
+    @property
+    def assigned_count(self) -> int:
+        """Number of distinct EIs currently holding a slot."""
+        return len(self._slot_of)
+
+    # ------------------------------------------------------------------
+    # Kuhn's algorithm internals
+    # ------------------------------------------------------------------
+
+    def _slots_for(self, key: EIKey) -> list[Slot]:
+        _resource_id, start, finish = key
+        first = max(start, self._epoch.first)
+        last = min(finish, self._epoch.last)
+        slots: list[Slot] = []
+        for chronon in range(first, last + 1):
+            slots.extend((chronon, slot)
+                         for slot in range(self._budget.at(chronon)))
+        return slots
+
+    def _augment(self, root: EIKey) -> bool:
+        """Find an augmenting path starting from an unmatched EI key.
+
+        Iterative DFS (augmenting chains can exceed Python's recursion
+        limit on large instances). ``frames`` holds ``(key, slot_iter)``
+        pairs; ``pending[i]`` is the occupied slot frame ``i`` is waiting
+        on while frame ``i + 1`` tries to re-home its occupant.
+        """
+        visited: set[Slot] = set()
+        frames: list[tuple[EIKey, object]] = [
+            (root, iter(self._slots_for(root)))
+        ]
+        pending: list[Slot] = []
+        while frames:
+            key, slot_iter = frames[-1]
+            pushed = False
+            for slot in slot_iter:  # type: ignore[union-attr]
+                if slot in visited:
+                    continue
+                visited.add(slot)
+                occupant = self._ei_at.get(slot)
+                if occupant is None:
+                    # Free slot found: flip the whole augmenting chain.
+                    self._ei_at[slot] = key
+                    self._slot_of[key] = slot
+                    for index in range(len(frames) - 2, -1, -1):
+                        parent_key = frames[index][0]
+                        parent_slot = pending[index]
+                        self._ei_at[parent_slot] = parent_key
+                        self._slot_of[parent_key] = parent_slot
+                    return True
+                pending.append(slot)
+                frames.append((occupant, iter(self._slots_for(occupant))))
+                pushed = True
+                break
+            if not pushed:
+                frames.pop()
+                if pending:
+                    pending.pop()
+        return False
+
+    def _unmatch(self, key: EIKey) -> None:
+        slot = self._slot_of.pop(key, None)
+        if slot is not None:
+            del self._ei_at[slot]

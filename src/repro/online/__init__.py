@@ -1,0 +1,52 @@
+"""Online monitoring policies (Section 4.2 of the paper)."""
+
+from repro.online.base import (
+    Candidate,
+    Policy,
+    PolicyLevel,
+    ProbeDecision,
+    TIntervalState,
+    apply_probes,
+    select_probes,
+)
+from repro.online.baselines import (
+    CoveragePolicy,
+    FCFSPolicy,
+    LeastFlexibleFirstPolicy,
+    MostResidualFirstPolicy,
+    RandomPolicy,
+    StaticRankPolicy,
+)
+from repro.online.medf import MEDFPolicy, m_edf_value
+from repro.online.mrsf import MRSFPolicy, mrsf_value
+from repro.online.registry import (
+    available_policies,
+    make_policy,
+    parse_policy_spec,
+)
+from repro.online.sedf import SEDFPolicy, s_edf_value
+
+__all__ = [
+    "Candidate",
+    "CoveragePolicy",
+    "FCFSPolicy",
+    "LeastFlexibleFirstPolicy",
+    "MEDFPolicy",
+    "MRSFPolicy",
+    "MostResidualFirstPolicy",
+    "Policy",
+    "PolicyLevel",
+    "ProbeDecision",
+    "RandomPolicy",
+    "StaticRankPolicy",
+    "SEDFPolicy",
+    "TIntervalState",
+    "apply_probes",
+    "available_policies",
+    "make_policy",
+    "m_edf_value",
+    "mrsf_value",
+    "parse_policy_spec",
+    "s_edf_value",
+    "select_probes",
+]

@@ -1,0 +1,255 @@
+"""Online policy framework.
+
+Section 4.2 of the paper: at every chronon the proxy sees the candidate
+t-intervals (``cands(eta)``) — those that arrived, are not yet fully
+captured, and can still complete — and their candidate EIs (``cands(I)``).
+A *policy* scores candidate EIs and the proxy probes the resources of the
+best-scored EIs, up to the chronon's budget.
+
+This module provides:
+
+* :class:`TIntervalState` — mutable capture-tracking wrapper around an
+  immutable :class:`~repro.core.intervals.TInterval`;
+* :class:`Candidate` — one probe-able (state, EI) pair;
+* :class:`Policy` — the scoring interface the three heuristics implement;
+* :func:`select_probes` — budgeted, preemption-aware greedy selection,
+  shared by the simulator and by tests.
+
+Scores are *lower-is-better*; ties break deterministically on
+``(deadline, start, resource id, profile id, t-interval id)``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.intervals import ExecutionInterval, TInterval
+from repro.core.timeline import Chronon
+
+__all__ = [
+    "Candidate",
+    "Policy",
+    "PolicyLevel",
+    "TIntervalState",
+    "select_probes",
+]
+
+# The paper's three-level classification of online policies (§4.2.2).
+PolicyLevel = str
+EI_LEVEL: PolicyLevel = "ei"
+RANK_LEVEL: PolicyLevel = "rank"
+MULTI_EI_LEVEL: PolicyLevel = "multi-ei"
+
+
+class TIntervalState:
+    """Mutable runtime state of one candidate t-interval.
+
+    Tracks which EIs are captured, whether the t-interval was ever selected
+    by the policy (``committed`` — drives non-preemptive behaviour), and
+    caches the owning profile's rank (the MRSF score needs it).
+    """
+
+    __slots__ = ("eta", "profile_rank", "captured", "committed")
+
+    def __init__(self, eta: TInterval, profile_rank: int) -> None:
+        self.eta = eta
+        self.profile_rank = profile_rank
+        self.captured = [False] * len(eta)
+        self.committed = False
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """Stable identity ``(profile_id, tinterval_id)``."""
+        return (self.eta.profile_id, self.eta.tinterval_id)
+
+    @property
+    def captured_count(self) -> int:
+        """Number of already-captured EIs (``sum I(I', S)`` over siblings)."""
+        return sum(self.captured)
+
+    @property
+    def residual(self) -> int:
+        """Number of EIs still to capture."""
+        return len(self.captured) - self.captured_count
+
+    @property
+    def is_complete(self) -> bool:
+        """True when every EI has been captured (the t-interval counts)."""
+        return all(self.captured)
+
+    def is_expired(self, chronon: Chronon) -> bool:
+        """True when some uncaptured EI's deadline has passed.
+
+        An expired t-interval can never complete and is dropped from the
+        candidate set (it still counts in the GC denominator).
+        """
+        return any(
+            not self.captured[ei.ei_id] and ei.expired_at(chronon)
+            for ei in self.eta
+        )
+
+    def uncaptured_eis(self) -> list[ExecutionInterval]:
+        """EIs not yet captured, in declaration order."""
+        return [ei for ei in self.eta if not self.captured[ei.ei_id]]
+
+    def probeable_eis(self, chronon: Chronon) -> list[ExecutionInterval]:
+        """Uncaptured EIs whose window contains ``chronon``."""
+        return [ei for ei in self.eta
+                if not self.captured[ei.ei_id] and ei.active_at(chronon)]
+
+    def mark_captured(self, ei_id: int) -> None:
+        """Record the capture of one EI."""
+        self.captured[ei_id] = True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"TIntervalState(key={self.key}, "
+                f"captured={self.captured_count}/{len(self.captured)}, "
+                f"committed={self.committed})")
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate:
+    """One probe-able (t-interval state, EI) pair at the current chronon."""
+
+    state: TIntervalState
+    ei: ExecutionInterval
+
+
+class Policy(ABC):
+    """Scores candidate EIs; the proxy probes the lowest-scored ones.
+
+    Subclasses are stateless — all decision inputs come from the candidate
+    and the chronon — which is what makes the policies cheap (§4.2.1).
+    """
+
+    #: Short name used in reports ("S-EDF", "MRSF", "M-EDF", ...).
+    name: str = "?"
+    #: Information level per the paper's classification.
+    level: PolicyLevel = EI_LEVEL
+
+    @abstractmethod
+    def score(self, candidate: Candidate, chronon: Chronon) -> float:
+        """Priority of probing this candidate now; lower is better."""
+
+    def label(self, preemptive: bool) -> str:
+        """Display name with the paper's (P)/(NP) suffix convention."""
+        return f"{self.name}({'P' if preemptive else 'NP'})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+def _tie_break(candidate: Candidate, chronon: Chronon
+               ) -> tuple[int, int, int, int, int]:
+    ei = candidate.ei
+    return (ei.finish - chronon, ei.start, ei.resource_id,
+            candidate.state.eta.profile_id, candidate.state.eta.tinterval_id)
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeDecision:
+    """One probe the policy decided on: the resource and the EI that won it.
+
+    The ``selected`` candidate is the best-ranked EI on the probed
+    resource — the EI the policy "returned" in the paper's terms. Its
+    t-interval becomes *committed* (drives non-preemptive priority);
+    other EIs captured by the same probe are free riders and do not.
+    """
+
+    resource_id: int
+    selected: Candidate
+
+
+def select_probes(policy: Policy, candidates: Sequence[Candidate],
+                  chronon: Chronon, budget: int,
+                  preemptive: bool) -> list[ProbeDecision]:
+    """Choose up to ``budget`` resources to probe at ``chronon``.
+
+    A probe targets one *resource* and captures every active candidate EI
+    on it, so selection aggregates candidates by resource: a resource's
+    priority is the best (lowest) policy score among its candidate EIs,
+    then the most urgent deadline, then the number of candidate EIs the
+    probe would serve (coverage). Coverage tie-breaking is what makes
+    every policy per-chronon-optimal on rank-1 / unit-width workloads —
+    the property §5.3 of the paper relies on ("for rank(P) = 1 the gained
+    completeness ... is optimal").
+
+    Non-preemptive mode (§4.2.1) runs two passes: EIs of previously
+    *committed* t-intervals first, then — with leftover budget only —
+    EIs of t-intervals the policy has not yet selected.
+
+    Returns at most ``budget`` probe decisions (distinct resources).
+    """
+    if budget <= 0 or not candidates:
+        return []
+    if preemptive:
+        pools: list[Sequence[Candidate]] = [candidates]
+    else:
+        committed = [c for c in candidates if c.state.committed]
+        fresh = [c for c in candidates if not c.state.committed]
+        pools = [committed, fresh]
+
+    decisions: list[ProbeDecision] = []
+    chosen_set: set[int] = set()
+    for pool in pools:
+        if len(decisions) >= budget:
+            break
+        by_resource: dict[int, list[tuple]] = {}
+        for candidate in pool:
+            # (policy score, deadline urgency, start, ids) per candidate;
+            # a resource inherits the best of its candidates.
+            entry = (policy.score(candidate, chronon),
+                     *_tie_break(candidate, chronon), candidate)
+            by_resource.setdefault(candidate.ei.resource_id,
+                                   []).append(entry)
+        # A resource's rank: its best candidate's (score, deadline), then
+        # how many candidate EIs the probe would serve, then identity.
+        best_of: dict[int, tuple] = {
+            resource_id: min(entries, key=lambda entry: entry[:-1])
+            for resource_id, entries in by_resource.items()
+        }
+        ranked = sorted(
+            by_resource,
+            key=lambda resource_id: (best_of[resource_id][0],
+                                     best_of[resource_id][1],
+                                     -len(by_resource[resource_id]),
+                                     best_of[resource_id][2:-1]),
+        )
+        for resource_id in ranked:
+            if resource_id in chosen_set:
+                continue
+            if len(decisions) >= budget:
+                break
+            decisions.append(ProbeDecision(
+                resource_id=resource_id,
+                selected=best_of[resource_id][-1]))
+            chosen_set.add(resource_id)
+    return decisions
+
+
+def apply_probes(decisions: Sequence[ProbeDecision],
+                 candidates: Sequence[Candidate],
+                 chronon: Chronon) -> list[Candidate]:
+    """Mark every candidate EI captured by the decided probes.
+
+    All active EIs on a probed resource are captured — this is where
+    intra-resource overlap pays off. Every t-interval that receives a
+    capture (selected or free-rider) becomes *committed*: the proxy has
+    invested probes in it, which is what the non-preemptive mode protects
+    (this broad commitment reproduces the paper's reported P-vs-NP gaps;
+    see DESIGN.md). Returns the candidates that were captured.
+    """
+    probed = {decision.resource_id for decision in decisions}
+    captured: list[Candidate] = []
+    for candidate in candidates:
+        ei = candidate.ei
+        if ei.resource_id in probed and ei.active_at(chronon):
+            if not candidate.state.captured[ei.ei_id]:
+                candidate.state.mark_captured(ei.ei_id)
+                candidate.state.committed = True
+                captured.append(candidate)
+    for decision in decisions:
+        decision.selected.state.committed = True
+    return captured

@@ -1,0 +1,139 @@
+"""Baseline online policies (not from the paper; sanity anchors).
+
+These give the experiment harness cheap lower/upper sanity bounds:
+
+* :class:`RandomPolicy` — uniformly random priorities (seeded);
+* :class:`FCFSPolicy` — first-come-first-served on EI start chronons;
+* :class:`LeastFlexibleFirstPolicy` — prefer EIs with the least slack
+  *width* remaining (a deadline-density heuristic distinct from S-EDF);
+* :class:`CoveragePolicy` — prefer resources whose probe would capture the
+  most candidate EIs right now (greedy set-cover flavor; exploits
+  intra-resource overlap explicitly).
+
+The paper's claims are about S-EDF / MRSF / M-EDF; these baselines exist to
+show the proposed heuristics beat naive strategies, and they are used in
+the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.timeline import Chronon
+from repro.online.base import EI_LEVEL, MULTI_EI_LEVEL, Candidate, Policy
+
+__all__ = [
+    "RandomPolicy",
+    "FCFSPolicy",
+    "LeastFlexibleFirstPolicy",
+    "CoveragePolicy",
+    "StaticRankPolicy",
+    "MostResidualFirstPolicy",
+]
+
+
+class RandomPolicy(Policy):
+    """Uniformly random priorities; deterministic given the seed.
+
+    The score depends only on the candidate's identity and the chronon, so
+    repeated scoring within one selection round is stable.
+    """
+
+    name = "Random"
+    level = EI_LEVEL
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._seed = 0 if seed is None else int(seed)
+
+    def score(self, candidate: Candidate, chronon: Chronon) -> float:
+        key = (self._seed, chronon, candidate.state.eta.profile_id,
+               candidate.state.eta.tinterval_id, candidate.ei.ei_id,
+               candidate.ei.resource_id, candidate.ei.start,
+               candidate.ei.finish)
+        rng = np.random.default_rng(abs(hash(key)) % (2**32))
+        return float(rng.random())
+
+
+class FCFSPolicy(Policy):
+    """First come, first served: earlier-starting EIs first."""
+
+    name = "FCFS"
+    level = EI_LEVEL
+
+    def score(self, candidate: Candidate, chronon: Chronon) -> float:
+        return float(candidate.ei.start)
+
+
+class LeastFlexibleFirstPolicy(Policy):
+    """Prefer EIs with the smallest remaining window width.
+
+    Unlike S-EDF (absolute deadline), this scores the number of remaining
+    *opportunities* to capture the EI.
+    """
+
+    name = "LFF"
+    level = EI_LEVEL
+
+    def score(self, candidate: Candidate, chronon: Chronon) -> float:
+        remaining = candidate.ei.finish - max(chronon, candidate.ei.start) + 1
+        return float(remaining)
+
+
+class StaticRankPolicy(Policy):
+    """Rank-level policy that ignores capture progress.
+
+    Scores by the *static* profile rank (simpler profiles first) without
+    tracking how many sibling EIs are already captured. The gap between
+    this and MRSF isolates the value of residual-awareness — the part of
+    MRSF that actually reacts to the run.
+    """
+
+    name = "StaticRank"
+    level = "rank"
+
+    def score(self, candidate: Candidate, chronon: Chronon) -> float:
+        return float(candidate.state.profile_rank)
+
+
+class MostResidualFirstPolicy(Policy):
+    """Anti-MRSF: prefer t-intervals with the MOST EIs left.
+
+    The pedagogical lower bound for the rank level — it spreads budget
+    across barely-started t-intervals and should complete few of them.
+    """
+
+    name = "anti-MRSF"
+    level = "rank"
+
+    def score(self, candidate: Candidate, chronon: Chronon) -> float:
+        state = candidate.state
+        return -float(state.profile_rank - state.captured_count)
+
+
+class CoveragePolicy(Policy):
+    """Prefer resources that capture many candidate EIs in one probe.
+
+    Stateful per chronon: the simulator calls :meth:`observe_candidates`
+    before scoring so the policy can count active EIs per resource.
+    """
+
+    name = "Coverage"
+    level = MULTI_EI_LEVEL
+
+    def __init__(self) -> None:
+        self._counts: dict[int, int] = {}
+        self._counted_chronon: Chronon | None = None
+
+    def observe_candidates(self, candidates: list[Candidate],
+                           chronon: Chronon) -> None:
+        """Recount active EIs per resource for the current chronon."""
+        self._counts = {}
+        self._counted_chronon = chronon
+        for candidate in candidates:
+            resource_id = candidate.ei.resource_id
+            self._counts[resource_id] = self._counts.get(resource_id, 0) + 1
+
+    def score(self, candidate: Candidate, chronon: Chronon) -> float:
+        # More coverage = better = lower score.
+        coverage = self._counts.get(candidate.ei.resource_id, 1)
+        return -float(coverage)

@@ -1,0 +1,37 @@
+"""MRSF — Minimal Residual Stub First (rank level).
+
+The paper's representative of the *rank level* class: the policy prefers
+EIs whose parent t-interval has the fewest EIs left to capture:
+
+    ``MRSF(I) = rank(p) - sum_{I' in eta} I(I', S)``
+
+i.e. the profile's rank minus the number of already-captured siblings.
+Intuition: a t-interval with fewer remaining stubs has a higher probability
+of completing, so the budget spent on it is less likely to be wasted.
+
+Proposition 4: without intra-resource overlap and with ``rank(P) = k``,
+MRSF is k-competitive.
+"""
+
+from __future__ import annotations
+
+from repro.core.timeline import Chronon
+from repro.online.base import RANK_LEVEL, Candidate, Policy
+
+__all__ = ["MRSFPolicy", "mrsf_value"]
+
+
+def mrsf_value(profile_rank: int, captured_count: int) -> float:
+    """The MRSF score of an EI given its parent state (lower = better)."""
+    return float(profile_rank - captured_count)
+
+
+class MRSFPolicy(Policy):
+    """Prefer EIs of t-intervals closest to completion."""
+
+    name = "MRSF"
+    level = RANK_LEVEL
+
+    def score(self, candidate: Candidate, chronon: Chronon) -> float:
+        state = candidate.state
+        return mrsf_value(state.profile_rank, state.captured_count)

@@ -1,0 +1,75 @@
+"""Name-based policy registry.
+
+The experiment harness and CLI refer to policies by the paper's names
+("S-EDF", "MRSF", "M-EDF", optionally with a "(P)"/"(NP)" suffix).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.errors import WorkloadError
+from repro.online.base import Policy
+from repro.online.baselines import (
+    CoveragePolicy,
+    FCFSPolicy,
+    LeastFlexibleFirstPolicy,
+    MostResidualFirstPolicy,
+    RandomPolicy,
+    StaticRankPolicy,
+)
+from repro.online.medf import MEDFPolicy
+from repro.online.mrsf import MRSFPolicy
+from repro.online.sedf import SEDFPolicy
+
+__all__ = ["make_policy", "parse_policy_spec", "available_policies"]
+
+_FACTORIES: dict[str, Callable[[], Policy]] = {
+    "S-EDF": SEDFPolicy,
+    "MRSF": MRSFPolicy,
+    "M-EDF": MEDFPolicy,
+    "RANDOM": RandomPolicy,
+    "FCFS": FCFSPolicy,
+    "LFF": LeastFlexibleFirstPolicy,
+    "COVERAGE": CoveragePolicy,
+    "STATICRANK": StaticRankPolicy,
+    "ANTI-MRSF": MostResidualFirstPolicy,
+}
+
+
+def available_policies() -> list[str]:
+    """Canonical policy names accepted by :func:`make_policy`."""
+    return sorted(_FACTORIES)
+
+
+def make_policy(name: str) -> Policy:
+    """Instantiate a policy by canonical name (case-insensitive).
+
+    Raises
+    ------
+    WorkloadError
+        For unknown policy names.
+    """
+    factory = _FACTORIES.get(name.upper().replace("SEDF", "S-EDF")
+                             .replace("MEDF", "M-EDF"))
+    if factory is None:
+        raise WorkloadError(
+            f"unknown policy {name!r}; available: {available_policies()}"
+        )
+    return factory()
+
+
+def parse_policy_spec(spec: str) -> tuple[Policy, bool]:
+    """Parse a display spec like ``"MRSF(P)"`` into (policy, preemptive).
+
+    A bare name (no suffix) defaults to preemptive, matching the dominant
+    configuration in the paper's plots.
+    """
+    spec = spec.strip()
+    preemptive = True
+    if spec.endswith("(NP)"):
+        preemptive = False
+        spec = spec[:-4]
+    elif spec.endswith("(P)"):
+        spec = spec[:-3]
+    return make_policy(spec.strip()), preemptive

@@ -1,0 +1,39 @@
+"""S-EDF — Single-interval Earliest Deadline First (EI level).
+
+The paper's representative of the *EI level* class: the policy looks at one
+execution interval at a time and prefers the one whose deadline is nearest:
+
+    ``S-EDF(I, T) = I.T_f - T``   (remaining chronons to the deadline)
+
+EDF is optimal for the degenerate case of individual execution intervals
+(rank-1 profiles) and serves as the baseline the richer policies are
+compared against (§4.2.2, Proposition 3 territory).
+"""
+
+from __future__ import annotations
+
+from repro.core.intervals import ExecutionInterval
+from repro.core.timeline import Chronon
+from repro.online.base import EI_LEVEL, Candidate, Policy
+
+__all__ = ["SEDFPolicy", "s_edf_value"]
+
+
+def s_edf_value(ei: ExecutionInterval, chronon: Chronon) -> float:
+    """Remaining chronons until the EI's deadline.
+
+    For an EI that is not yet active the paper evaluates the EDF value
+    "with T = 0", i.e. the absolute deadline; callers pass ``chronon = 0``
+    to get that behaviour (used by M-EDF for inactive siblings).
+    """
+    return float(ei.finish - chronon)
+
+
+class SEDFPolicy(Policy):
+    """Earliest-deadline-first over individual execution intervals."""
+
+    name = "S-EDF"
+    level = EI_LEVEL
+
+    def score(self, candidate: Candidate, chronon: Chronon) -> float:
+        return s_edf_value(candidate.ei, chronon)

@@ -1,0 +1,16 @@
+"""The proxy runtime: origin servers, clients, and push notifications."""
+
+from repro.runtime.clients import Client, Notification
+from repro.runtime.federation import ServerFleet
+from repro.runtime.proxy import MonitoringProxy, ProxyStats
+from repro.runtime.server import OriginServer, Snapshot
+
+__all__ = [
+    "Client",
+    "MonitoringProxy",
+    "Notification",
+    "OriginServer",
+    "ProxyStats",
+    "ServerFleet",
+    "Snapshot",
+]

@@ -1,0 +1,92 @@
+"""Clients and push notifications.
+
+The paper's hybrid architecture: the proxy probes servers via pull and
+"delivers data to clients using a push protocol". A notification is pushed
+to a client the moment one of its t-intervals completes, carrying the
+snapshots captured for each execution interval.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.timeline import Chronon
+from repro.runtime.server import Snapshot
+
+__all__ = ["Notification", "Client"]
+
+
+@dataclass(frozen=True, slots=True)
+class Notification:
+    """A completed t-interval pushed to its client.
+
+    Attributes
+    ----------
+    client_id:
+        The receiving client.
+    profile_name:
+        Name of the satisfied profile.
+    profile_id, tinterval_id:
+        Identity of the completed t-interval.
+    completed_at:
+        Chronon at which the final EI was captured.
+    snapshots:
+        One snapshot per execution interval, in EI declaration order —
+        the actual data the client asked for.
+    """
+
+    client_id: int
+    profile_name: str
+    profile_id: int
+    tinterval_id: int
+    completed_at: Chronon
+    snapshots: tuple[Snapshot, ...]
+
+    def values(self) -> list[str]:
+        """The captured payloads, in EI order."""
+        return [snapshot.value for snapshot in self.snapshots]
+
+
+class Client:
+    """A registered proxy client with a mailbox and optional callback.
+
+    Parameters
+    ----------
+    client_id:
+        Stable identity assigned by the proxy.
+    name:
+        Human-readable label.
+    callback:
+        Optional callable invoked *synchronously* on each notification
+        (in addition to mailbox delivery). Exceptions from the callback
+        propagate — a misbehaving client is a caller bug, not data loss.
+    """
+
+    def __init__(self, client_id: int, name: str = "",
+                 callback: Callable[[Notification], None] | None = None
+                 ) -> None:
+        self.client_id = client_id
+        self.name = name or f"client{client_id}"
+        self._callback = callback
+        self._mailbox: list[Notification] = []
+
+    def deliver(self, notification: Notification) -> None:
+        """Push one notification (mailbox + callback)."""
+        self._mailbox.append(notification)
+        if self._callback is not None:
+            self._callback(notification)
+
+    @property
+    def mailbox(self) -> tuple[Notification, ...]:
+        """All received notifications, in delivery order."""
+        return tuple(self._mailbox)
+
+    def drain(self) -> list[Notification]:
+        """Remove and return all pending notifications."""
+        drained, self._mailbox = self._mailbox, []
+        return drained
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Client(id={self.client_id}, name={self.name!r}, "
+                f"pending={len(self._mailbox)})")

@@ -1,0 +1,111 @@
+"""Server federation: many origin servers behind one probing interface.
+
+The paper's model has the proxy probing *multiple* servers, each managing
+its own resources (different markets, different feed providers).
+:class:`ServerFleet` routes probes to the owning server while presenting
+the same ``advance_to``/``probe`` surface as a single
+:class:`~repro.runtime.server.OriginServer`, so
+:class:`~repro.runtime.proxy.MonitoringProxy` works with either.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ModelError
+from repro.core.timeline import Chronon
+from repro.runtime.server import OriginServer, Snapshot
+from repro.traces.events import UpdateEvent
+
+__all__ = ["ServerFleet"]
+
+
+class ServerFleet:
+    """Routes resource probes to the owning origin server.
+
+    Parameters
+    ----------
+    assignments:
+        Mapping ``server_name -> (server, resource_ids)``. Each resource
+        may belong to exactly one server.
+
+    Raises
+    ------
+    ModelError
+        If a resource is assigned to more than one server.
+    """
+
+    def __init__(self, assignments: dict[str, tuple[OriginServer,
+                                                    list[int]]]) -> None:
+        self._servers: dict[str, OriginServer] = {}
+        self._owner: dict[int, str] = {}
+        self._probe_counts: dict[str, int] = {}
+        for name, (server, resource_ids) in assignments.items():
+            self._servers[name] = server
+            self._probe_counts[name] = 0
+            for resource_id in resource_ids:
+                if resource_id in self._owner:
+                    raise ModelError(
+                        f"resource {resource_id} assigned to both "
+                        f"{self._owner[resource_id]!r} and {name!r}")
+                self._owner[resource_id] = name
+
+    @property
+    def clock(self) -> Chronon:
+        """The fleet clock (min over members; 0 when empty)."""
+        if not self._servers:
+            return 0
+        return min(server.clock for server in self._servers.values())
+
+    def server_names(self) -> list[str]:
+        """Registered server names, sorted."""
+        return sorted(self._servers)
+
+    def server(self, name: str) -> OriginServer:
+        """Access one member server.
+
+        Raises
+        ------
+        ModelError
+            For unknown names.
+        """
+        try:
+            return self._servers[name]
+        except KeyError:
+            raise ModelError(f"unknown server {name!r}") from None
+
+    def owner_of(self, resource_id: int) -> str:
+        """The server owning a resource.
+
+        Raises
+        ------
+        ModelError
+            For unassigned resources.
+        """
+        try:
+            return self._owner[resource_id]
+        except KeyError:
+            raise ModelError(
+                f"resource {resource_id} is not assigned to any server"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # OriginServer-compatible surface
+    # ------------------------------------------------------------------
+
+    def advance_to(self, chronon: Chronon) -> list[UpdateEvent]:
+        """Advance every member server; returns all applied events."""
+        applied: list[UpdateEvent] = []
+        for name in sorted(self._servers):
+            applied.extend(self._servers[name].advance_to(chronon))
+        applied.sort()
+        return applied
+
+    def probe(self, resource_id: int) -> Snapshot:
+        """Probe the owning server for a resource's state."""
+        owner = self.owner_of(resource_id)
+        self._probe_counts[owner] += 1
+        return self._servers[owner].probe(resource_id)
+
+    def probe_counts(self) -> dict[str, int]:
+        """Probes routed to each member server so far (per-provider
+        load — the bandwidth the paper's budget models)."""
+        return dict(self._probe_counts)

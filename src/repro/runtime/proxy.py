@@ -1,0 +1,336 @@
+"""The monitoring proxy runtime: pull from servers, push to clients.
+
+Where :mod:`repro.simulation.proxy` is the *measurement* harness (GC of a
+fixed t-interval stream), this module is the *system* the paper describes
+in Section 3: clients register profiles at the proxy (possibly while it is
+running), the proxy probes origin servers under its budget using an online
+policy, and every completed t-interval is pushed to its client as a
+:class:`~repro.runtime.clients.Notification` carrying the captured
+snapshots.
+
+The scheduling core (candidate construction, scoring, preemption, doom
+visibility) is shared with the simulator through
+:mod:`repro.online.base`, so measured completeness and delivered
+notifications can never disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.budget import BudgetVector
+from repro.core.errors import ModelError
+from repro.core.profile import Profile
+from repro.core.schedule import Schedule
+from repro.core.timeline import Chronon, Epoch
+from repro.online.base import (
+    EI_LEVEL,
+    Candidate,
+    Policy,
+    TIntervalState,
+    select_probes,
+)
+from repro.online.baselines import CoveragePolicy
+from repro.runtime.clients import Client, Notification
+from repro.runtime.server import OriginServer, Snapshot
+
+__all__ = ["MonitoringProxy", "ProxyStats"]
+
+
+class _RuntimeState(TIntervalState):
+    """t-interval state that also collects the captured snapshots."""
+
+    __slots__ = ("snapshots", "registration", "doom_counted")
+
+    def __init__(self, eta, profile_rank: int,
+                 registration: "_Registration") -> None:
+        super().__init__(eta, profile_rank)
+        self.snapshots: list[Snapshot | None] = [None] * len(eta)
+        self.registration = registration
+        self.doom_counted = False
+
+
+@dataclass(frozen=True, slots=True)
+class ProxyStats:
+    """Aggregate accounting of a proxy run so far.
+
+    Invariant (once the run has flushed):
+    ``registered == completed + expired + dropped``.
+    """
+
+    registered: int
+    completed: int
+    expired: int
+    dropped: int
+    pending: int
+    probes_used: int
+
+    @property
+    def completeness(self) -> float:
+        """Completed / (completed + expired); 1.0 while nothing resolved."""
+        resolved = self.completed + self.expired
+        if resolved == 0:
+            return 1.0
+        return self.completed / resolved
+
+
+class _Registration:
+    """One registered profile: owner, identity, live flag."""
+
+    __slots__ = ("profile_id", "client", "profile", "active")
+
+    def __init__(self, profile_id: int, client: Client,
+                 profile: Profile) -> None:
+        self.profile_id = profile_id
+        self.client = client
+        self.profile = profile
+        self.active = True
+
+
+class MonitoringProxy:
+    """A running proxy bound to one origin server.
+
+    Parameters
+    ----------
+    server:
+        The origin server to probe.
+    epoch:
+        Monitoring horizon; :meth:`step` advances one chronon at a time.
+    budget:
+        Per-chronon probing budget.
+    policy:
+        Online policy ranking candidate EIs.
+    preemptive:
+        Preemption mode (see the paper's §4.2.1).
+    """
+
+    def __init__(self, server: OriginServer, epoch: Epoch,
+                 budget: BudgetVector, policy: Policy,
+                 preemptive: bool = True) -> None:
+        self.server = server
+        self.epoch = epoch
+        self.budget = budget
+        self.policy = policy
+        self.preemptive = preemptive
+
+        self._clients: dict[int, Client] = {}
+        self._registrations: dict[int, _Registration] = {}
+        self._next_profile_id = 0
+        self._clock: Chronon = 0
+
+        self._pending: list[_RuntimeState] = []
+        self._arrivals: dict[Chronon, list[_RuntimeState]] = {}
+        self._schedule = Schedule()
+        self._completed = 0
+        self._expired = 0
+        self._dropped = 0
+        self._registered_tintervals = 0
+
+    # ------------------------------------------------------------------
+    # Registration API
+    # ------------------------------------------------------------------
+
+    def register_client(self, name: str = "", callback=None) -> Client:
+        """Create and register a new client."""
+        client = Client(len(self._clients), name=name, callback=callback)
+        self._clients[client.client_id] = client
+        return client
+
+    def register_profile(self, client: Client, profile: Profile) -> int:
+        """Register a profile for a client; returns the profile id.
+
+        May be called before or during the run; t-intervals whose windows
+        are already partially past still participate with whatever can be
+        captured (fully past ones expire immediately).
+
+        Raises
+        ------
+        ModelError
+            For unknown clients or empty profiles.
+        """
+        if client.client_id not in self._clients:
+            raise ModelError(f"unknown client {client.client_id}")
+        if len(profile) == 0:
+            raise ModelError("cannot register an empty profile")
+        profile_id = self._next_profile_id
+        self._next_profile_id += 1
+        attached = profile.attached(profile_id)
+        registration = _Registration(profile_id, client, attached)
+        self._registrations[profile_id] = registration
+
+        rank = attached.rank
+        for eta in attached:
+            state = _RuntimeState(eta, rank, registration)
+            self._registered_tintervals += 1
+            arrival = max(eta.earliest_start, self._clock + 1)
+            if arrival > self.epoch.last:
+                arrival = self.epoch.last
+            self._arrivals.setdefault(arrival, []).append(state)
+        return profile_id
+
+    def unregister_profile(self, profile_id: int) -> None:
+        """Deactivate a profile: its pending t-intervals are dropped.
+
+        Already-delivered notifications stay delivered; the dropped
+        t-intervals count as neither completed nor expired.
+
+        Raises
+        ------
+        ModelError
+            For unknown profile ids.
+        """
+        registration = self._registrations.get(profile_id)
+        if registration is None:
+            raise ModelError(f"unknown profile id {profile_id}")
+        registration.active = False
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    @property
+    def clock(self) -> Chronon:
+        """Last processed chronon (0 before the first step)."""
+        return self._clock
+
+    @property
+    def schedule(self) -> Schedule:
+        """The probe schedule executed so far."""
+        return self._schedule
+
+    def step(self) -> Chronon:
+        """Process the next chronon; returns it.
+
+        Raises
+        ------
+        ModelError
+            When the epoch is exhausted.
+        """
+        if self._clock >= self.epoch.last:
+            raise ModelError(f"epoch exhausted at {self._clock}")
+        chronon = self._clock + 1
+        self._clock = chronon
+        self.server.advance_to(chronon)
+
+        self._pending.extend(self._arrivals.pop(chronon, ()))
+
+        policy_sees_doom = self.policy.level != EI_LEVEL
+        still_pending: list[_RuntimeState] = []
+        for state in self._pending:
+            if not state.registration.active:
+                self._dropped += 1
+                continue
+            if state.is_complete:
+                continue  # already notified at capture time
+            if state.is_expired(chronon):
+                if not state.doom_counted:
+                    state.doom_counted = True
+                    self._expired += 1
+                # Carcass handling matches the simulator: EI-level
+                # policies keep seeing the open EIs of a doomed
+                # t-interval (they cannot tell it is doomed).
+                if any(not ei.expired_at(chronon)
+                       for ei in state.uncaptured_eis()):
+                    still_pending.append(state)
+                continue
+            still_pending.append(state)
+        self._pending = still_pending
+
+        budget_now = self.budget.at(chronon)
+        if budget_now <= 0 or not self._pending:
+            return chronon
+
+        candidates = [
+            Candidate(state, ei)
+            for state in self._pending
+            if (not policy_sees_doom) or not state.is_expired(chronon)
+            for ei in state.probeable_eis(chronon)
+        ]
+        if not candidates:
+            return chronon
+        if isinstance(self.policy, CoveragePolicy):
+            self.policy.observe_candidates(candidates, chronon)
+        decisions = select_probes(self.policy, candidates, chronon,
+                                  budget_now, self.preemptive)
+        if not decisions:
+            return chronon
+
+        snapshots = {
+            decision.resource_id: self.server.probe(decision.resource_id)
+            for decision in decisions
+        }
+        for decision in decisions:
+            self._schedule.add_probe(decision.resource_id, chronon)
+            decision.selected.state.committed = True
+
+        for candidate in candidates:
+            ei = candidate.ei
+            state = candidate.state
+            if (ei.resource_id in snapshots and ei.active_at(chronon)
+                    and not state.captured[ei.ei_id]):
+                state.mark_captured(ei.ei_id)
+                state.committed = True
+                assert isinstance(state, _RuntimeState)
+                state.snapshots[ei.ei_id] = snapshots[ei.resource_id]
+                if state.is_complete and not state.is_expired(chronon):
+                    self._notify(state, chronon)
+
+        self._pending = [state for state in self._pending
+                         if not state.is_complete]
+        return chronon
+
+    def run(self, until: Chronon | None = None) -> ProxyStats:
+        """Run to ``until`` (default: end of epoch) and return stats."""
+        target = self.epoch.last if until is None else until
+        while self._clock < target:
+            self.step()
+        if self._clock >= self.epoch.last:
+            # Flush: anything unresolved at the end of the epoch expired
+            # (or was dropped by unregistration).
+            for state in self._pending:
+                if not state.registration.active:
+                    self._dropped += 1
+                elif not state.is_complete and not state.doom_counted:
+                    self._expired += 1
+            for states in self._arrivals.values():
+                for state in states:
+                    if state.registration.active:
+                        self._expired += 1
+                    else:
+                        self._dropped += 1
+            self._arrivals.clear()
+            self._pending = []
+        return self.stats()
+
+    def _notify(self, state: _RuntimeState, chronon: Chronon) -> None:
+        self._completed += 1
+        registration = state.registration
+        notification = Notification(
+            client_id=registration.client.client_id,
+            profile_name=registration.profile.name,
+            profile_id=registration.profile_id,
+            tinterval_id=state.eta.tinterval_id,
+            completed_at=chronon,
+            snapshots=tuple(s for s in state.snapshots
+                            if s is not None),
+        )
+        registration.client.deliver(notification)
+
+    def stats(self) -> ProxyStats:
+        """Current accounting snapshot."""
+        waiting = sum(
+            sum(1 for state in states if state.registration.active)
+            for states in self._arrivals.values())
+        pending = waiting + sum(
+            1 for state in self._pending
+            if state.registration.active
+            and not state.is_complete
+            and not state.is_expired(self._clock))
+        return ProxyStats(
+            registered=self._registered_tintervals,
+            completed=self._completed,
+            expired=self._expired,
+            dropped=self._dropped,
+            pending=pending,
+            probes_used=len(self._schedule),
+        )

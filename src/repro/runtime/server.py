@@ -1,0 +1,141 @@
+"""Origin servers: versioned resource state that the proxy probes.
+
+Section 3 of the paper: "Servers and clients share data in our model
+through proxies. A server manages resources and can be queried by the
+proxy on behalf of the proxy clients." Data is *volatile* — each update
+overwrites the previous value (the flash-memory sensor / news-feed
+motivation), so a probe observes only the latest state.
+
+:class:`OriginServer` replays an update trace (or accepts programmatic
+updates) and serves :class:`Snapshot` objects on probes. The proxy pulls;
+the server never pushes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import ModelError
+from repro.core.timeline import Chronon
+from repro.traces.events import UpdateEvent, UpdateTrace
+
+__all__ = ["Snapshot", "OriginServer"]
+
+
+@dataclass(frozen=True, slots=True)
+class Snapshot:
+    """The observed state of one resource at probe time.
+
+    Attributes
+    ----------
+    resource_id:
+        The probed resource.
+    probed_at:
+        Chronon of the probe.
+    version:
+        Number of updates the resource has received so far (0 = never
+        updated; the value is the initial state).
+    updated_at:
+        Chronon of the latest update (0 if never updated).
+    value:
+        The latest payload (empty string if never updated).
+    """
+
+    resource_id: int
+    probed_at: Chronon
+    version: int
+    updated_at: Chronon
+    value: str
+
+    @property
+    def is_fresh(self) -> bool:
+        """True when the observed value was written at the probe chronon."""
+        return self.updated_at == self.probed_at
+
+
+class OriginServer:
+    """A pull-only server replaying updates to its resources.
+
+    Parameters
+    ----------
+    trace:
+        Optional update trace to replay; events apply as the server's
+        clock advances. More events can be injected with :meth:`publish`.
+
+    The server keeps only the *latest* value per resource — earlier values
+    are overwritten, which is exactly why delayed probes lose data.
+    """
+
+    def __init__(self, trace: UpdateTrace | None = None) -> None:
+        self._pending: list[UpdateEvent] = sorted(trace) if trace else []
+        self._cursor = 0
+        self._clock: Chronon = 0
+        self._version: dict[int, int] = {}
+        self._updated_at: dict[int, Chronon] = {}
+        self._value: dict[int, str] = {}
+
+    @property
+    def clock(self) -> Chronon:
+        """The server's current chronon (0 before the first advance)."""
+        return self._clock
+
+    def publish(self, event: UpdateEvent) -> None:
+        """Inject an update event for future replay.
+
+        Raises
+        ------
+        ModelError
+            If the event is in the server's past (its chronon has already
+            been advanced through) — volatile history cannot be rewritten.
+        """
+        if event.chronon <= self._clock:
+            raise ModelError(
+                f"cannot publish at chronon {event.chronon}: server clock "
+                f"is already at {self._clock}"
+            )
+        # Insert keeping the pending list sorted past the cursor.
+        self._pending.append(event)
+        tail = sorted(self._pending[self._cursor:])
+        self._pending[self._cursor:] = tail
+
+    def advance_to(self, chronon: Chronon) -> list[UpdateEvent]:
+        """Apply all updates up to and including ``chronon``.
+
+        Returns the events applied in this step (useful for logging).
+
+        Raises
+        ------
+        ModelError
+            If asked to move backwards.
+        """
+        if chronon < self._clock:
+            raise ModelError(
+                f"server clock cannot move backwards "
+                f"({self._clock} -> {chronon})"
+            )
+        applied: list[UpdateEvent] = []
+        while (self._cursor < len(self._pending)
+               and self._pending[self._cursor].chronon <= chronon):
+            event = self._pending[self._cursor]
+            self._cursor += 1
+            self._version[event.resource_id] = (
+                self._version.get(event.resource_id, 0) + 1)
+            self._updated_at[event.resource_id] = event.chronon
+            self._value[event.resource_id] = event.payload
+            applied.append(event)
+        self._clock = chronon
+        return applied
+
+    def probe(self, resource_id: int) -> Snapshot:
+        """Observe the current state of one resource (a pull request)."""
+        return Snapshot(
+            resource_id=resource_id,
+            probed_at=self._clock,
+            version=self._version.get(resource_id, 0),
+            updated_at=self._updated_at.get(resource_id, 0),
+            value=self._value.get(resource_id, ""),
+        )
+
+    def version_of(self, resource_id: int) -> int:
+        """Current version counter of a resource."""
+        return self._version.get(resource_id, 0)

@@ -1,0 +1,6 @@
+"""Simulation environment: the online proxy loop and result types."""
+
+from repro.simulation.proxy import ProxySimulator, run_online
+from repro.simulation.result import SimulationResult
+
+__all__ = ["ProxySimulator", "SimulationResult", "run_online"]

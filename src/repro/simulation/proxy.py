@@ -1,0 +1,205 @@
+"""The online proxy simulator (Section 5.1's simulation environment).
+
+At every chronon the proxy:
+
+1. receives the t-intervals arriving at this chronon (a t-interval arrives
+   at the earliest start of its EIs — the stream the paper denotes
+   ``eta(j)``);
+2. drops completed t-intervals and expires those that can no longer
+   complete (an uncaptured EI's deadline passed);
+3. builds the candidate EI bag ``cands(I)`` — uncaptured EIs active now;
+4. asks the policy for up to ``C_j`` resources to probe (preemptive or
+   non-preemptive selection, see :func:`repro.online.base.select_probes`);
+5. executes the probes: *every* active candidate EI on a probed resource
+   is captured, which is how intra-resource overlap is exploited.
+
+The simulator is deterministic: ties in policy scores break on fixed keys.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.budget import BudgetVector
+from repro.core.completeness import CompletenessReport
+from repro.core.profile import ProfileSet
+from repro.core.schedule import Schedule
+from repro.core.timeline import Epoch
+from repro.online.base import (
+    EI_LEVEL,
+    Candidate,
+    Policy,
+    TIntervalState,
+    apply_probes,
+    select_probes,
+)
+from repro.online.baselines import CoveragePolicy
+from repro.simulation.result import SimulationResult
+
+__all__ = ["ProxySimulator", "run_online"]
+
+
+class ProxySimulator:
+    """Simulates the proxy's online monitoring loop over an epoch.
+
+    Parameters
+    ----------
+    profiles:
+        Registered client profiles (the t-interval stream source).
+    epoch:
+        Epoch to simulate.
+    budget:
+        Probing budget vector.
+    policy:
+        Online policy scoring candidate EIs.
+    preemptive:
+        Run the policy preemptively (``True``, the paper's "(P)" variant)
+        or non-preemptively ("(NP)").
+    state_factory:
+        Callable building the runtime state for each t-interval; defaults
+        to :class:`TIntervalState`. Extensions (e.g. quota-based partial
+        capture, see :mod:`repro.extensions.partial`) substitute richer
+        states here.
+    """
+
+    def __init__(self, profiles: ProfileSet, epoch: Epoch,
+                 budget: BudgetVector, policy: Policy,
+                 preemptive: bool = True,
+                 state_factory=TIntervalState) -> None:
+        self.profiles = profiles
+        self.epoch = epoch
+        self.budget = budget
+        self.policy = policy
+        self.preemptive = preemptive
+        self.state_factory = state_factory
+
+    def run(self) -> SimulationResult:
+        """Execute the full epoch and return the run's result."""
+        arrivals = self._arrival_index()
+        started = time.perf_counter()
+
+        active: list[TIntervalState] = []
+        schedule = Schedule()
+        captured_total = 0
+        expired_total = 0
+        per_profile: dict[int, tuple[int, int]] = {
+            profile.profile_id: (0, len(profile))
+            for profile in self.profiles
+        }
+        per_rank: dict[int, tuple[int, int]] = {}
+        for eta in self.profiles.tintervals():
+            captured, total = per_rank.get(eta.size, (0, 0))
+            per_rank[eta.size] = (captured, total + 1)
+
+        # A doomed t-interval (some uncaptured EI already expired) can
+        # never complete. Whether its remaining EIs still attract probes
+        # is an *information-level* question (§4.2.2): EI-level policies
+        # (e.g. S-EDF) see individual EIs only and keep wasting budget on
+        # them; rank- and multi-EI-level policies see the siblings and
+        # skip them.
+        policy_sees_doom = self.policy.level != EI_LEVEL
+        doomed_counted: set[tuple[int, int]] = set()
+
+        for chronon in self.epoch:
+            active.extend(arrivals.get(chronon, ()))
+
+            # Retire completed t-intervals and those with no probeable
+            # future; count doomed ones as expired the moment doom hits.
+            still_active: list[TIntervalState] = []
+            for state in active:
+                if state.is_complete:
+                    captured_total += 1
+                    self._count(per_profile, per_rank, state, captured=True)
+                    continue
+                if state.is_expired(chronon):
+                    if state.key not in doomed_counted:
+                        doomed_counted.add(state.key)
+                        expired_total += 1
+                        self._count(per_profile, per_rank, state,
+                                    captured=False)
+                    # Keep the carcass around while any EI window is
+                    # still open — EI-level policies can't tell.
+                    if any(not ei.expired_at(chronon)
+                           for ei in state.uncaptured_eis()):
+                        still_active.append(state)
+                    continue
+                still_active.append(state)
+            active = still_active
+
+            budget_now = self.budget.at(chronon)
+            if budget_now <= 0 or not active:
+                continue
+
+            candidates = [
+                Candidate(state, ei)
+                for state in active
+                if policy_sees_doom is False
+                or not state.is_expired(chronon)
+                for ei in state.probeable_eis(chronon)
+            ]
+            if not candidates:
+                continue
+            if isinstance(self.policy, CoveragePolicy):
+                self.policy.observe_candidates(candidates, chronon)
+            decisions = select_probes(self.policy, candidates, chronon,
+                                      budget_now, self.preemptive)
+            for decision in decisions:
+                schedule.add_probe(decision.resource_id, chronon)
+            apply_probes(decisions, candidates, chronon)
+
+        # Epoch over: flush what is left in the active set.
+        for state in active:
+            if state.is_complete:
+                captured_total += 1
+                self._count(per_profile, per_rank, state, captured=True)
+            elif state.key not in doomed_counted:
+                expired_total += 1
+                self._count(per_profile, per_rank, state, captured=False)
+
+        runtime = time.perf_counter() - started
+        report = CompletenessReport(
+            captured=captured_total,
+            total=self.profiles.total_tintervals,
+            per_profile=per_profile,
+            per_rank=per_rank,
+        )
+        return SimulationResult(
+            label=self.policy.label(self.preemptive),
+            schedule=schedule,
+            report=report,
+            probes_used=len(schedule),
+            expired=expired_total,
+            runtime_seconds=runtime,
+        )
+
+    def _arrival_index(self) -> dict[int, list[TIntervalState]]:
+        """t-intervals bucketed by their arrival chronon."""
+        arrivals: dict[int, list[TIntervalState]] = {}
+        for profile in self.profiles:
+            rank = profile.rank
+            for eta in profile:
+                state = self.state_factory(eta, rank)
+                # A t-interval starting past the epoch can never be
+                # captured, but it must still be *counted*: clamp its
+                # arrival to the last chronon so the end-of-epoch flush
+                # records it as expired.
+                arrival = min(eta.earliest_start, self.epoch.last)
+                arrivals.setdefault(arrival, []).append(state)
+        return arrivals
+
+    @staticmethod
+    def _count(per_profile: dict[int, tuple[int, int]],
+               per_rank: dict[int, tuple[int, int]],
+               state: TIntervalState, captured: bool) -> None:
+        profile_id = state.eta.profile_id
+        hits, total = per_profile.get(profile_id, (0, 0))
+        per_profile[profile_id] = (hits + int(captured), total)
+        rank_hits, rank_total = per_rank.get(state.eta.size, (0, 0))
+        per_rank[state.eta.size] = (rank_hits + int(captured), rank_total)
+
+
+def run_online(profiles: ProfileSet, epoch: Epoch, budget: BudgetVector,
+               policy: Policy, preemptive: bool = True) -> SimulationResult:
+    """One-call convenience wrapper around :class:`ProxySimulator`."""
+    return ProxySimulator(profiles, epoch, budget, policy,
+                          preemptive=preemptive).run()

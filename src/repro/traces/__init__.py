@@ -1,0 +1,31 @@
+"""Update-event traces, update models, and trace synthesizers."""
+
+from repro.traces.auctions import (
+    BRAND_CATALOG,
+    AuctionSpec,
+    AuctionTraceSynthesizer,
+)
+from repro.traces.events import UpdateEvent, UpdateTrace
+from repro.traces.feeds import FeedTraceSynthesizer
+from repro.traces.models import (
+    FPNUpdateModel,
+    PeriodicUpdateModel,
+    PoissonUpdateModel,
+    UpdateModel,
+)
+from repro.traces.stocks import MarketQuote, StockMarketSynthesizer
+
+__all__ = [
+    "BRAND_CATALOG",
+    "AuctionSpec",
+    "AuctionTraceSynthesizer",
+    "FPNUpdateModel",
+    "FeedTraceSynthesizer",
+    "MarketQuote",
+    "PeriodicUpdateModel",
+    "PoissonUpdateModel",
+    "StockMarketSynthesizer",
+    "UpdateEvent",
+    "UpdateTrace",
+    "UpdateModel",
+]

@@ -1,0 +1,189 @@
+"""Update-event traces.
+
+The experimental pipeline of the paper starts from a *trace* of update
+events: each event says "resource ``r`` changed at chronon ``t``" (a bid was
+posted, a feed item was published, a price moved). Delivery restrictions
+(:mod:`repro.workloads.restrictions`) then turn event streams into execution
+intervals.
+
+The CSV format written/read here is deliberately trivial
+(``resource_id,chronon[,payload]``) so that a real trace — e.g. the paper's
+eBay bid feed — can be dropped in without code changes.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.core.errors import TraceFormatError
+from repro.core.timeline import Chronon, Epoch
+
+__all__ = ["UpdateEvent", "UpdateTrace"]
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class UpdateEvent:
+    """A single update to a resource.
+
+    Ordering is ``(chronon, resource_id, payload)`` so traces sort into
+    timeline order naturally.
+    """
+
+    chronon: Chronon
+    resource_id: int
+    payload: str = ""
+
+    def __post_init__(self) -> None:
+        if self.chronon < 1:
+            raise ValueError(f"event chronon must be >= 1, got {self.chronon}")
+        if self.resource_id < 0:
+            raise ValueError(
+                f"event resource_id must be >= 0, got {self.resource_id}"
+            )
+
+
+class UpdateTrace:
+    """An immutable, per-resource-indexed stream of update events.
+
+    Parameters
+    ----------
+    events:
+        The update events; stored sorted by (chronon, resource).
+    epoch:
+        The epoch the trace spans. Events outside the epoch are rejected.
+    """
+
+    __slots__ = ("_events", "_by_resource", "epoch")
+
+    def __init__(self, events: Iterable[UpdateEvent], epoch: Epoch) -> None:
+        self.epoch = epoch
+        self._events: tuple[UpdateEvent, ...] = tuple(sorted(events))
+        self._by_resource: dict[int, list[UpdateEvent]] = {}
+        for event in self._events:
+            if event.chronon not in epoch:
+                raise TraceFormatError(
+                    f"event at chronon {event.chronon} outside epoch "
+                    f"[1, {epoch.length}]"
+                )
+            self._by_resource.setdefault(event.resource_id, []).append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[UpdateEvent]:
+        return iter(self._events)
+
+    @property
+    def resource_ids(self) -> list[int]:
+        """Resources that have at least one event, ascending."""
+        return sorted(self._by_resource)
+
+    def events_for(self, resource_id: int) -> tuple[UpdateEvent, ...]:
+        """All events of one resource in chronon order."""
+        return tuple(self._by_resource.get(resource_id, ()))
+
+    def update_chronons(self, resource_id: int) -> list[Chronon]:
+        """Chronons (deduplicated, sorted) at which the resource updates."""
+        seen: set[Chronon] = set()
+        result: list[Chronon] = []
+        for event in self._by_resource.get(resource_id, ()):
+            if event.chronon not in seen:
+                seen.add(event.chronon)
+                result.append(event.chronon)
+        return result
+
+    def count_for(self, resource_id: int) -> int:
+        """Number of events on one resource."""
+        return len(self._by_resource.get(resource_id, ()))
+
+    def mean_intensity(self) -> float:
+        """Average number of events per resource over the epoch.
+
+        This is the empirical counterpart of the paper's ``lambda``
+        parameter ("average updates intensity per resource").
+        """
+        if not self._by_resource:
+            return 0.0
+        return len(self._events) / len(self._by_resource)
+
+    def restricted_to(self, resource_ids: Iterable[int]) -> "UpdateTrace":
+        """A sub-trace containing only the given resources."""
+        wanted = set(resource_ids)
+        return UpdateTrace(
+            (event for event in self._events if event.resource_id in wanted),
+            self.epoch,
+        )
+
+    def merged_with(self, other: "UpdateTrace") -> "UpdateTrace":
+        """Union of two traces over the longer of the two epochs."""
+        epoch = Epoch(max(self.epoch.length, other.epoch.length))
+        return UpdateTrace(list(self._events) + list(other._events), epoch)
+
+    # ------------------------------------------------------------------
+    # CSV round-trip (real-trace drop-in path)
+    # ------------------------------------------------------------------
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write the trace as ``resource_id,chronon,payload`` rows."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["resource_id", "chronon", "payload"])
+            for event in self._events:
+                writer.writerow([event.resource_id, event.chronon,
+                                 event.payload])
+
+    @classmethod
+    def from_csv(cls, path: str | Path,
+                 epoch: Epoch | None = None) -> "UpdateTrace":
+        """Load a trace from CSV; infers the epoch when not given.
+
+        Raises
+        ------
+        TraceFormatError
+            On malformed rows, non-integer fields, or events outside the
+            provided epoch.
+        """
+        path = Path(path)
+        events: list[UpdateEvent] = []
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                raise TraceFormatError(f"{path}: empty trace file")
+            if header[:2] != ["resource_id", "chronon"]:
+                raise TraceFormatError(
+                    f"{path}: unexpected header {header!r}"
+                )
+            for line_number, row in enumerate(reader, start=2):
+                if not row:
+                    continue
+                if len(row) < 2:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: expected at least 2 columns"
+                    )
+                try:
+                    resource_id = int(row[0])
+                    chronon = int(row[1])
+                except ValueError as exc:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: non-integer field ({exc})"
+                    ) from None
+                payload = row[2] if len(row) > 2 else ""
+                try:
+                    events.append(UpdateEvent(chronon, resource_id, payload))
+                except ValueError as exc:
+                    raise TraceFormatError(
+                        f"{path}:{line_number}: {exc}"
+                    ) from None
+        if epoch is None:
+            horizon = max((event.chronon for event in events), default=1)
+            epoch = Epoch(horizon)
+        return cls(events, epoch)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"UpdateTrace(events={len(self._events)}, "
+                f"resources={len(self._by_resource)}, K={self.epoch.length})")

@@ -1,0 +1,154 @@
+"""Update models: how the proxy anticipates resource updates.
+
+Section 5.1 of the paper uses two models:
+
+* **FPN(1)** — "perfect knowledge of the real update trace": execution
+  intervals are derived directly from the observed events. We model this as
+  an update model that simply replays a recorded :class:`UpdateTrace`.
+* **Poisson(lambda)** — synthetic updates where ``lambda`` controls the
+  *expected number of updates per resource over the epoch*. We synthesize
+  them by drawing exponential inter-arrival gaps with mean ``K / lambda``
+  and discretizing to chronons (multiple hits in the same chronon collapse,
+  matching the chronon-is-indivisible semantics).
+
+Both are exposed through the :class:`UpdateModel` protocol so workload
+generators are model-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence
+
+import numpy as np
+
+from repro.core.timeline import Chronon, Epoch
+from repro.traces.events import UpdateEvent, UpdateTrace
+
+__all__ = [
+    "UpdateModel",
+    "FPNUpdateModel",
+    "PoissonUpdateModel",
+    "PeriodicUpdateModel",
+]
+
+
+class UpdateModel(Protocol):
+    """Anything that can produce an update trace for a set of resources."""
+
+    def generate(self, resource_ids: Sequence[int],
+                 epoch: Epoch) -> UpdateTrace:
+        """Produce the update trace over the epoch for the given resources."""
+        ...
+
+
+class FPNUpdateModel:
+    """FPN(1): perfect knowledge of a recorded trace.
+
+    The model replays the wrapped trace, restricted to the requested
+    resources and epoch. ``FPN(1)`` in the paper ("First Probe after
+    update, with probability 1 of knowing it") means the proxy knows every
+    real update instant exactly, which is what replaying the trace gives.
+    """
+
+    def __init__(self, trace: UpdateTrace) -> None:
+        self._trace = trace
+
+    @property
+    def trace(self) -> UpdateTrace:
+        """The wrapped ground-truth trace."""
+        return self._trace
+
+    def generate(self, resource_ids: Sequence[int],
+                 epoch: Epoch) -> UpdateTrace:
+        """Replay the recorded events for the given resources/epoch."""
+        events = [event for event in self._trace
+                  if event.resource_id in set(resource_ids)
+                  and event.chronon in epoch]
+        return UpdateTrace(events, epoch)
+
+
+class PoissonUpdateModel:
+    """Poisson(lambda) synthetic updates.
+
+    Parameters
+    ----------
+    intensity:
+        Expected number of updates per resource over the whole epoch
+        (the paper's ``lambda``; e.g. 20 or 50 for ``K = 1000``).
+    seed:
+        RNG seed for reproducibility.
+    per_resource_intensity:
+        Optional mapping overriding the intensity of specific resources,
+        enabling heterogeneous workloads (popular feeds update more often).
+    """
+
+    def __init__(self, intensity: float, seed: int | None = None,
+                 per_resource_intensity: dict[int, float] | None = None
+                 ) -> None:
+        if intensity < 0:
+            raise ValueError(f"intensity must be >= 0, got {intensity}")
+        self._intensity = intensity
+        self._per_resource = dict(per_resource_intensity or {})
+        for resource_id, value in self._per_resource.items():
+            if value < 0:
+                raise ValueError(
+                    f"intensity must be >= 0, got {value} for resource "
+                    f"{resource_id}"
+                )
+        self._rng = np.random.default_rng(seed)
+
+    def intensity_for(self, resource_id: int) -> float:
+        """Effective intensity of one resource."""
+        return self._per_resource.get(resource_id, self._intensity)
+
+    def generate(self, resource_ids: Sequence[int],
+                 epoch: Epoch) -> UpdateTrace:
+        """Draw Poisson update streams for the given resources."""
+        events: list[UpdateEvent] = []
+        horizon = float(epoch.length)
+        for resource_id in resource_ids:
+            intensity = self.intensity_for(resource_id)
+            if intensity <= 0:
+                continue
+            mean_gap = horizon / intensity
+            time = 0.0
+            chronons: set[Chronon] = set()
+            # Exponential inter-arrivals; discretize by ceiling so an
+            # arrival in (j-1, j] lands on chronon j.
+            while True:
+                time += self._rng.exponential(mean_gap)
+                if time > horizon:
+                    break
+                chronons.add(max(1, int(np.ceil(time))))
+            events.extend(UpdateEvent(chronon, resource_id)
+                          for chronon in sorted(chronons))
+        return UpdateTrace(events, epoch)
+
+
+class PeriodicUpdateModel:
+    """Deterministic updates every ``period`` chronons (phase-shiftable).
+
+    Useful for tests and for modeling hourly feeds (55% of Web feeds update
+    hourly per the study [10] cited in the paper).
+    """
+
+    def __init__(self, period: int, phase: int = 0,
+                 phases: dict[int, int] | None = None) -> None:
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self._period = period
+        self._phase = phase
+        self._phases = dict(phases or {})
+
+    def generate(self, resource_ids: Sequence[int],
+                 epoch: Epoch) -> UpdateTrace:
+        """Emit strictly periodic updates (per-resource phases)."""
+        events: list[UpdateEvent] = []
+        for resource_id in resource_ids:
+            phase = self._phases.get(resource_id, self._phase) % self._period
+            first = 1 + phase
+            events.extend(
+                UpdateEvent(chronon, resource_id)
+                for chronon in range(first, epoch.length + 1, self._period)
+            )
+        return UpdateTrace(events, epoch)

@@ -1,0 +1,132 @@
+"""Synthetic multi-market stock tick traces (the Figure-1 scenario).
+
+The paper's running example is a financial analyst watching the *same*
+security on two (or more) markets, looking for arbitrage opportunities.
+This synthesizer produces correlated price-update streams: each market
+tracks a shared latent price process (geometric random walk) with
+market-local noise and market-local update times — so prices on different
+markets occasionally diverge, which is exactly when overlapping execution
+intervals matter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.resource import Resource, ResourceCatalog
+from repro.core.timeline import Epoch
+from repro.traces.events import UpdateEvent, UpdateTrace
+
+__all__ = ["MarketQuote", "StockMarketSynthesizer"]
+
+
+@dataclass(frozen=True, slots=True)
+class MarketQuote:
+    """A decoded price update (parsed from an event payload)."""
+
+    market: int
+    chronon: int
+    price: float
+
+
+class StockMarketSynthesizer:
+    """Correlated price updates of one security on several markets.
+
+    Resource ``i`` is "the security on market ``i``". All markets follow a
+    shared latent random-walk price with independent observation noise and
+    independent Poisson update times.
+
+    Parameters
+    ----------
+    num_markets:
+        Number of market resources (>= 1).
+    epoch:
+        Epoch of the simulation.
+    updates_per_market:
+        Expected number of price updates per market over the epoch.
+    base_price:
+        Initial latent price.
+    volatility:
+        Per-chronon standard deviation of the latent log-price walk.
+    divergence:
+        Standard deviation of market-local (arbitrage-creating) noise.
+    seed:
+        RNG seed.
+    """
+
+    def __init__(self, num_markets: int, epoch: Epoch,
+                 updates_per_market: float = 40.0,
+                 base_price: float = 100.0,
+                 volatility: float = 0.005,
+                 divergence: float = 0.004,
+                 seed: int | None = None) -> None:
+        if num_markets < 1:
+            raise ValueError(f"num_markets must be >= 1, got {num_markets}")
+        if updates_per_market < 0:
+            raise ValueError(
+                f"updates_per_market must be >= 0, got {updates_per_market}"
+            )
+        self._num_markets = num_markets
+        self._epoch = epoch
+        self._updates_per_market = updates_per_market
+        self._base_price = base_price
+        self._volatility = volatility
+        self._divergence = divergence
+        self._rng = np.random.default_rng(seed)
+
+    def catalog(self) -> ResourceCatalog:
+        """One resource per market."""
+        catalog = ResourceCatalog()
+        for market in range(self._num_markets):
+            catalog.add(Resource.create(
+                market, name=f"stock/market-{market}",
+                metadata={"market": str(market)},
+            ))
+        return catalog
+
+    def generate(self) -> UpdateTrace:
+        """Synthesize the correlated multi-market tick trace."""
+        horizon = self._epoch.length
+        # Shared latent log-price path over every chronon.
+        steps = self._rng.normal(0.0, self._volatility, size=horizon)
+        latent = self._base_price * np.exp(np.cumsum(steps))
+        events: list[UpdateEvent] = []
+        for market in range(self._num_markets):
+            chronons = self._update_chronons()
+            for chronon in chronons:
+                noise = self._rng.normal(0.0, self._divergence)
+                price = float(latent[chronon - 1] * np.exp(noise))
+                events.append(UpdateEvent(
+                    chronon, market, payload=f"price={price:.4f}"))
+        return UpdateTrace(events, self._epoch)
+
+    def _update_chronons(self) -> list[int]:
+        if self._updates_per_market <= 0:
+            return []
+        horizon = float(self._epoch.length)
+        mean_gap = horizon / self._updates_per_market
+        time = 0.0
+        chronons: set[int] = set()
+        while True:
+            time += self._rng.exponential(mean_gap)
+            if time > horizon:
+                break
+            chronons.add(max(1, int(np.ceil(time))))
+        return sorted(chronons)
+
+    @staticmethod
+    def parse_quote(event: UpdateEvent) -> MarketQuote:
+        """Decode a ``price=...`` payload back into a quote.
+
+        Raises
+        ------
+        ValueError
+            If the payload does not carry a price.
+        """
+        prefix = "price="
+        if not event.payload.startswith(prefix):
+            raise ValueError(f"not a price event: {event.payload!r}")
+        return MarketQuote(market=event.resource_id, chronon=event.chronon,
+                           price=float(event.payload[len(prefix):]))

@@ -1,0 +1,30 @@
+"""Workload construction: restrictions, Zipf sampling, templates, generator."""
+
+from repro.workloads.generator import GeneratorConfig, ProfileGenerator
+from repro.workloads.restrictions import (
+    DeliveryRestriction,
+    OverwriteRestriction,
+    WindowRestriction,
+    derive_execution_intervals,
+)
+from repro.workloads.templates import (
+    AuctionWatchTemplate,
+    PeriodicWatchTemplate,
+    ProfileTemplate,
+    SingleResourceTemplate,
+)
+from repro.workloads.zipf import BoundedZipf
+
+__all__ = [
+    "AuctionWatchTemplate",
+    "BoundedZipf",
+    "DeliveryRestriction",
+    "GeneratorConfig",
+    "OverwriteRestriction",
+    "PeriodicWatchTemplate",
+    "ProfileGenerator",
+    "ProfileTemplate",
+    "SingleResourceTemplate",
+    "WindowRestriction",
+    "derive_execution_intervals",
+]

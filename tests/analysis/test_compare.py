@@ -1,0 +1,77 @@
+"""Tests for the policy comparison helper."""
+
+import pytest
+
+from repro.analysis import compare_policies
+from repro.core import (
+    BudgetVector,
+    Epoch,
+    ExecutionInterval,
+    Profile,
+    ProfileSet,
+    TInterval,
+)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    profiles = ProfileSet([
+        Profile([TInterval([ExecutionInterval(0, 1, 3)]),
+                 TInterval([ExecutionInterval(1, 2, 4)])]),
+        Profile([TInterval([ExecutionInterval(2, 1, 2),
+                            ExecutionInterval(0, 4, 6)])]),
+    ])
+    return profiles, Epoch(8), BudgetVector(1)
+
+
+class TestComparePolicies:
+    def test_runs_all_specs(self, instance):
+        profiles, epoch, budget = instance
+        comparison = compare_policies(profiles, epoch, budget,
+                                      ["S-EDF(P)", "MRSF(NP)"])
+        assert set(comparison.results) == {"S-EDF(P)", "MRSF(NP)"}
+
+    def test_offline_approx_included(self, instance):
+        profiles, epoch, budget = instance
+        comparison = compare_policies(profiles, epoch, budget,
+                                      ["MRSF(P)"],
+                                      include_offline_approx=True)
+        assert "offline-approx" in comparison.results
+
+    def test_optimum_and_competitive_ratio(self, instance):
+        profiles, epoch, budget = instance
+        comparison = compare_policies(profiles, epoch, budget,
+                                      ["MRSF(P)"], include_optimum=True)
+        ratio = comparison.competitive_ratio("MRSF(P)")
+        assert 0.0 <= ratio <= 1.0
+
+    def test_competitive_ratio_requires_optimum(self, instance):
+        profiles, epoch, budget = instance
+        comparison = compare_policies(profiles, epoch, budget,
+                                      ["MRSF(P)"])
+        with pytest.raises(ValueError, match="optimum"):
+            comparison.competitive_ratio("MRSF(P)")
+
+    def test_best_label(self, instance):
+        profiles, epoch, budget = instance
+        comparison = compare_policies(profiles, epoch, budget,
+                                      ["S-EDF(P)", "MRSF(P)"])
+        best = comparison.best_label()
+        assert comparison.gc(best) == max(
+            comparison.gc("S-EDF(P)"), comparison.gc("MRSF(P)"))
+
+    def test_rows_include_optimum(self, instance):
+        profiles, epoch, budget = instance
+        comparison = compare_policies(profiles, epoch, budget,
+                                      ["MRSF(P)"], include_optimum=True)
+        labels = [row[0] for row in comparison.rows()]
+        assert "(optimum)" in labels
+
+    def test_vacuous_ratio_when_optimum_zero(self):
+        profiles = ProfileSet([Profile([
+            TInterval([ExecutionInterval(0, 5, 5),
+                       ExecutionInterval(1, 5, 5)])])])
+        comparison = compare_policies(profiles, Epoch(8),
+                                      BudgetVector(1), ["MRSF(P)"],
+                                      include_optimum=True)
+        assert comparison.competitive_ratio("MRSF(P)") == 1.0

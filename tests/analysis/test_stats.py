@@ -1,0 +1,96 @@
+"""Tests for instance statistics."""
+
+import pytest
+
+from repro.analysis import compute_stats
+from repro.core import (
+    BudgetVector,
+    Epoch,
+    ExecutionInterval,
+    Profile,
+    ProfileSet,
+    TInterval,
+)
+
+
+def _profiles() -> ProfileSet:
+    p0 = Profile([
+        TInterval([ExecutionInterval(0, 1, 4),       # width 4
+                   ExecutionInterval(1, 2, 2)]),      # width 1
+        TInterval([ExecutionInterval(0, 3, 6)]),      # overlaps first EI
+    ])
+    p1 = Profile([TInterval([ExecutionInterval(2, 8, 8)])])
+    return ProfileSet([p0, p1])
+
+
+@pytest.fixture
+def stats():
+    return compute_stats(_profiles(), Epoch(10), BudgetVector(1))
+
+
+class TestCounts:
+    def test_populations(self, stats):
+        assert stats.num_profiles == 2
+        assert stats.num_tintervals == 3
+        assert stats.num_eis == 4
+
+    def test_rank(self, stats):
+        assert stats.rank == 2
+
+    def test_mean_tinterval_size(self, stats):
+        assert stats.mean_tinterval_size == pytest.approx(4 / 3)
+
+    def test_mean_ei_width(self, stats):
+        assert stats.mean_ei_width == pytest.approx((4 + 1 + 4 + 1) / 4)
+
+    def test_unit_width_fraction(self, stats):
+        assert stats.unit_width_fraction == pytest.approx(0.5)
+
+
+class TestOverlapRate:
+    def test_overlapping_pair_counted(self, stats):
+        # r0's [1,4] and [3,6] overlap; the other two EIs do not.
+        assert stats.intra_resource_overlap_rate == pytest.approx(0.5)
+
+    def test_no_overlap(self):
+        profiles = ProfileSet([Profile([
+            TInterval([ExecutionInterval(0, 1, 2)]),
+            TInterval([ExecutionInterval(0, 5, 6)]),
+        ])])
+        result = compute_stats(profiles, Epoch(10), BudgetVector(1))
+        assert result.intra_resource_overlap_rate == 0.0
+
+
+class TestDemand:
+    def test_peak_demand_counts_distinct_resources(self, stats):
+        # At chronons 2-4: r0 and r1 (then r0 alone) -> peak 2.
+        assert stats.peak_demand == 2
+
+    def test_same_resource_counts_once(self):
+        profiles = ProfileSet([Profile([
+            TInterval([ExecutionInterval(0, 1, 5)]),
+            TInterval([ExecutionInterval(0, 2, 6)]),
+        ])])
+        result = compute_stats(profiles, Epoch(10), BudgetVector(1))
+        assert result.peak_demand == 1
+
+    def test_demand_to_budget(self, stats):
+        assert stats.demand_to_budget == pytest.approx(4 / 10)
+
+    def test_zero_budget(self):
+        result = compute_stats(_profiles(), Epoch(10), BudgetVector(0))
+        assert result.demand_to_budget == float("inf")
+
+    def test_empty_instance(self):
+        result = compute_stats(ProfileSet(), Epoch(5), BudgetVector(1))
+        assert result.num_eis == 0
+        assert result.peak_demand == 0
+        assert result.demand_to_budget == 0.0
+
+
+class TestDescribe:
+    def test_rows_render(self, stats):
+        rows = dict(stats.describe())
+        assert rows["profiles"] == "2"
+        assert rows["rank(P)"] == "2"
+        assert "demand / budget" in rows

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    BudgetVector,
+    Epoch,
+    ExecutionInterval,
+    Profile,
+    ProfileSet,
+    TInterval,
+)
+
+
+@pytest.fixture
+def epoch() -> Epoch:
+    """A 20-chronon epoch."""
+    return Epoch(20)
+
+
+@pytest.fixture
+def unit_budget() -> BudgetVector:
+    """One probe per chronon."""
+    return BudgetVector(1)
+
+
+@pytest.fixture
+def arbitrage_profiles() -> ProfileSet:
+    """The quickstart scenario: one complex profile + one simple profile.
+
+    Profile 0 ("arbitrage") has two 2-EI t-intervals pairing resources 0
+    and 1 with overlapping windows; profile 1 ("feed") has three rank-1
+    t-intervals on resource 2.
+    """
+    arbitrage = Profile([
+        TInterval([ExecutionInterval(0, 2, 5),
+                   ExecutionInterval(1, 3, 6)]),
+        TInterval([ExecutionInterval(0, 10, 13),
+                   ExecutionInterval(1, 11, 14)]),
+    ], name="arbitrage")
+    feed = Profile([
+        TInterval([ExecutionInterval(2, 1, 4)]),
+        TInterval([ExecutionInterval(2, 7, 10)]),
+        TInterval([ExecutionInterval(2, 14, 17)]),
+    ], name="feed")
+    return ProfileSet([arbitrage, feed])
+
+
+@pytest.fixture
+def unit_width_profiles() -> ProfileSet:
+    """A small P^[1] set: every EI spans exactly one chronon."""
+    p0 = Profile([
+        TInterval([ExecutionInterval(0, 2, 2),
+                   ExecutionInterval(1, 4, 4)]),
+        TInterval([ExecutionInterval(0, 6, 6)]),
+    ])
+    p1 = Profile([
+        TInterval([ExecutionInterval(1, 2, 2)]),
+        TInterval([ExecutionInterval(2, 4, 4),
+                   ExecutionInterval(0, 8, 8)]),
+    ])
+    return ProfileSet([p0, p1])

@@ -1,0 +1,66 @@
+"""Tests for budget vectors."""
+
+import pytest
+
+from repro.core import BudgetVector, Epoch
+
+
+class TestConstruction:
+    def test_constant(self):
+        budget = BudgetVector.constant(3)
+        assert budget.at(1) == 3
+        assert budget.at(999) == 3
+        assert budget.is_constant()
+
+    def test_zero_budget_allowed(self):
+        assert BudgetVector(0).at(5) == 0
+
+    def test_negative_default_rejected(self):
+        with pytest.raises(ValueError):
+            BudgetVector(-1)
+
+    def test_negative_override_rejected(self):
+        with pytest.raises(ValueError, match="chronon 3"):
+            BudgetVector(1, overrides={3: -2})
+
+    def test_overrides(self):
+        budget = BudgetVector(1, overrides={5: 4})
+        assert budget.at(5) == 4
+        assert budget.at(6) == 1
+        assert not budget.is_constant()
+
+
+class TestFromSequence:
+    def test_maps_positions_to_chronons(self):
+        budget = BudgetVector.from_sequence([3, 1, 2])
+        assert [budget.at(c) for c in (1, 2, 3)] == [3, 1, 2]
+
+    def test_past_end_uses_last_value(self):
+        budget = BudgetVector.from_sequence([3, 1, 2])
+        assert budget.at(10) == 2
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            BudgetVector.from_sequence([])
+
+
+class TestAggregates:
+    def test_max_over_constant(self):
+        assert BudgetVector(2).max_over(Epoch(10)) == 2
+
+    def test_max_over_with_override(self):
+        budget = BudgetVector(1, overrides={4: 7})
+        assert budget.max_over(Epoch(10)) == 7
+
+    def test_max_over_ignores_out_of_epoch_override(self):
+        budget = BudgetVector(1, overrides={40: 7})
+        assert budget.max_over(Epoch(10)) == 1
+
+    def test_total_over(self):
+        budget = BudgetVector(2, overrides={1: 5})
+        assert budget.total_over(Epoch(4)) == 2 * 4 + 3
+
+    def test_equality(self):
+        assert BudgetVector(2) == BudgetVector(2)
+        assert BudgetVector(2) != BudgetVector(3)
+        assert BudgetVector(2, {1: 3}) != BudgetVector(2)

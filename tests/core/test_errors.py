@@ -1,0 +1,35 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core import (
+    ModelError,
+    ReproError,
+    ScheduleInfeasibleError,
+    SolverCapacityError,
+    SolverError,
+    TraceFormatError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        ModelError, ScheduleInfeasibleError, SolverError,
+        SolverCapacityError, TraceFormatError, WorkloadError,
+    ])
+    def test_all_derive_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_capacity_is_solver_error(self):
+        assert issubclass(SolverCapacityError, SolverError)
+
+    def test_catchable_at_base(self):
+        with pytest.raises(ReproError):
+            raise SolverCapacityError("too big")
+
+    def test_messages_preserved(self):
+        try:
+            raise WorkloadError("bad alpha")
+        except ReproError as exc:
+            assert "bad alpha" in str(exc)

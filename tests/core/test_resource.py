@@ -1,0 +1,80 @@
+"""Tests for resources and resource catalogs."""
+
+import pytest
+
+from repro.core import Resource, ResourceCatalog
+
+
+class TestResource:
+    def test_create_with_defaults(self):
+        resource = Resource.create(3)
+        assert resource.resource_id == 3
+        assert resource.name == "r3"
+        assert resource.meta == {}
+
+    def test_create_with_metadata(self):
+        resource = Resource.create(0, "feed/cnn", {"kind": "news"})
+        assert resource.name == "feed/cnn"
+        assert resource.meta == {"kind": "news"}
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError, match="resource_id"):
+            Resource.create(-1)
+
+    def test_int_conversion(self):
+        assert int(Resource.create(17)) == 17
+
+    def test_resources_are_hashable(self):
+        a = Resource.create(1, "a", {"x": "1"})
+        b = Resource.create(1, "a", {"x": "1"})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestResourceCatalog:
+    def test_dense_creates_sequential_ids(self):
+        catalog = ResourceCatalog.dense(5)
+        assert catalog.ids() == [0, 1, 2, 3, 4]
+        assert catalog[3].resource_id == 3
+
+    def test_dense_zero_is_empty(self):
+        assert len(ResourceCatalog.dense(0)) == 0
+
+    def test_dense_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceCatalog.dense(-1)
+
+    def test_dense_with_metadata(self):
+        catalog = ResourceCatalog.dense(
+            2, metadata_for={1: {"brand": "intel"}})
+        assert catalog[0].meta == {}
+        assert catalog[1].meta == {"brand": "intel"}
+
+    def test_duplicate_ids_rejected(self):
+        catalog = ResourceCatalog()
+        catalog.add(Resource.create(0))
+        with pytest.raises(ValueError, match="duplicate"):
+            catalog.add(Resource.create(0))
+
+    def test_iteration_sorted_by_id(self):
+        catalog = ResourceCatalog()
+        for resource_id in (5, 1, 3):
+            catalog.add(Resource.create(resource_id))
+        assert [r.resource_id for r in catalog] == [1, 3, 5]
+
+    def test_contains_checks_id(self):
+        catalog = ResourceCatalog.dense(3)
+        assert 2 in catalog
+        assert 7 not in catalog
+
+    def test_getitem_missing_raises_keyerror(self):
+        with pytest.raises(KeyError, match="no resource"):
+            ResourceCatalog.dense(2)[9]
+
+    def test_by_name(self):
+        catalog = ResourceCatalog.dense(3, prefix="feed")
+        assert catalog.by_name("feed1").resource_id == 1
+
+    def test_by_name_missing(self):
+        with pytest.raises(KeyError):
+            ResourceCatalog.dense(1).by_name("nope")

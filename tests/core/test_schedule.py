@@ -1,0 +1,110 @@
+"""Tests for schedules and capture indicators."""
+
+import pytest
+
+from repro.core import (
+    BudgetVector,
+    Epoch,
+    ExecutionInterval,
+    Schedule,
+    TInterval,
+)
+
+
+class TestProbeBookkeeping:
+    def test_add_and_contains(self):
+        schedule = Schedule()
+        assert schedule.add_probe(3, 7)
+        assert (3, 7) in schedule
+        assert (3, 8) not in schedule
+
+    def test_duplicate_probe_collapses(self):
+        schedule = Schedule()
+        assert schedule.add_probe(1, 1)
+        assert not schedule.add_probe(1, 1)
+        assert len(schedule) == 1
+
+    def test_invalid_probe_rejected(self):
+        schedule = Schedule()
+        with pytest.raises(ValueError):
+            schedule.add_probe(-1, 1)
+        with pytest.raises(ValueError):
+            schedule.add_probe(0, 0)
+
+    def test_probes_ordered_by_chronon_then_resource(self):
+        schedule = Schedule([(2, 5), (0, 5), (1, 1)])
+        assert list(schedule.probes()) == [(1, 1), (0, 5), (2, 5)]
+
+    def test_probes_at(self):
+        schedule = Schedule([(2, 5), (0, 5), (1, 1)])
+        assert schedule.probes_at(5) == [0, 2]
+        assert schedule.probes_at(9) == []
+
+    def test_probe_chronons_sorted(self):
+        schedule = Schedule([(0, 9), (0, 2), (0, 5)])
+        assert schedule.probe_chronons(0) == [2, 5, 9]
+
+    def test_contains_rejects_non_probe(self):
+        schedule = Schedule([(0, 1)])
+        assert "x" not in schedule
+        assert (0,) not in schedule
+
+    def test_copy_is_independent(self):
+        schedule = Schedule([(0, 1)])
+        clone = schedule.copy()
+        clone.add_probe(1, 2)
+        assert len(schedule) == 1
+        assert len(clone) == 2
+
+
+class TestCaptureIndicators:
+    def test_ei_captured_when_probe_inside_window(self):
+        schedule = Schedule([(0, 5)])
+        assert schedule.captures_ei(ExecutionInterval(0, 3, 7))
+
+    def test_ei_not_captured_outside_window(self):
+        schedule = Schedule([(0, 8)])
+        assert not schedule.captures_ei(ExecutionInterval(0, 3, 7))
+
+    def test_ei_not_captured_wrong_resource(self):
+        schedule = Schedule([(1, 5)])
+        assert not schedule.captures_ei(ExecutionInterval(0, 3, 7))
+
+    def test_ei_boundaries_count(self):
+        ei = ExecutionInterval(0, 3, 7)
+        assert Schedule([(0, 3)]).captures_ei(ei)
+        assert Schedule([(0, 7)]).captures_ei(ei)
+
+    def test_tinterval_needs_all_eis(self):
+        eta = TInterval([ExecutionInterval(0, 1, 3),
+                         ExecutionInterval(1, 5, 8)])
+        assert not Schedule([(0, 2)]).captures_tinterval(eta)
+        assert Schedule([(0, 2), (1, 6)]).captures_tinterval(eta)
+
+    def test_one_probe_captures_overlapping_eis_same_resource(self):
+        # Intra-resource overlap: one probe serves both EIs.
+        schedule = Schedule([(0, 5)])
+        first = ExecutionInterval(0, 3, 6)
+        second = ExecutionInterval(0, 5, 9)
+        assert schedule.captures_ei(first)
+        assert schedule.captures_ei(second)
+
+
+class TestBudgetFeasibility:
+    def test_respects_constant_budget(self):
+        schedule = Schedule([(0, 1), (1, 2)])
+        assert schedule.respects_budget(BudgetVector(1), Epoch(5))
+
+    def test_violates_budget(self):
+        schedule = Schedule([(0, 1), (1, 1)])
+        assert not schedule.respects_budget(BudgetVector(1), Epoch(5))
+        assert schedule.respects_budget(BudgetVector(2), Epoch(5))
+
+    def test_probe_outside_epoch_is_infeasible(self):
+        schedule = Schedule([(0, 9)])
+        assert not schedule.respects_budget(BudgetVector(1), Epoch(5))
+
+    def test_override_budget(self):
+        schedule = Schedule([(0, 1), (1, 1), (2, 1)])
+        budget = BudgetVector(1, overrides={1: 3})
+        assert schedule.respects_budget(budget, Epoch(5))

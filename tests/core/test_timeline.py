@@ -1,0 +1,80 @@
+"""Tests for the discrete time model (chronons and epochs)."""
+
+import pytest
+
+from repro.core import Epoch
+
+
+class TestEpochConstruction:
+    def test_length_one_is_valid(self):
+        assert len(Epoch(1)) == 1
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError, match="length"):
+            Epoch(0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Epoch(-5)
+
+
+class TestEpochIteration:
+    def test_iterates_one_based_chronons(self):
+        assert list(Epoch(4)) == [1, 2, 3, 4]
+
+    def test_first_and_last(self):
+        epoch = Epoch(7)
+        assert epoch.first == 1
+        assert epoch.last == 7
+
+    def test_len_matches_iteration(self):
+        epoch = Epoch(13)
+        assert len(list(epoch)) == len(epoch)
+
+
+class TestEpochMembership:
+    def test_interior_chronon_contained(self):
+        assert 3 in Epoch(5)
+
+    def test_boundaries_contained(self):
+        epoch = Epoch(5)
+        assert 1 in epoch
+        assert 5 in epoch
+
+    def test_zero_not_contained(self):
+        assert 0 not in Epoch(5)
+
+    def test_past_end_not_contained(self):
+        assert 6 not in Epoch(5)
+
+    def test_non_integer_not_contained(self):
+        epoch = Epoch(5)
+        assert "3" not in epoch
+        assert 3.0 not in epoch
+
+    def test_bool_not_treated_as_chronon(self):
+        # True == 1 numerically, but a bool is not a chronon.
+        assert True not in Epoch(5)
+
+
+class TestEpochHelpers:
+    def test_clamp_below(self):
+        assert Epoch(10).clamp(-3) == 1
+
+    def test_clamp_above(self):
+        assert Epoch(10).clamp(99) == 10
+
+    def test_clamp_inside_is_identity(self):
+        assert Epoch(10).clamp(4) == 4
+
+    def test_require_accepts_valid(self):
+        assert Epoch(10).require(10) == 10
+
+    def test_require_rejects_invalid(self):
+        with pytest.raises(ValueError, match="outside epoch"):
+            Epoch(10).require(11)
+
+    def test_epoch_is_hashable_value_object(self):
+        assert Epoch(5) == Epoch(5)
+        assert hash(Epoch(5)) == hash(Epoch(5))
+        assert Epoch(5) != Epoch(6)

@@ -1,0 +1,86 @@
+"""Tests for the repro-dsl command-line tool."""
+
+import pytest
+
+from repro.dsl.cli import main
+
+GOOD = """profile p {
+    watch a, b within 10;
+}
+"""
+
+MESSY = "profile p{watch a,b within 10;}"
+
+BAD = "profile p { watch within; }"
+
+
+@pytest.fixture
+def good_file(tmp_path):
+    path = tmp_path / "good.profiles"
+    path.write_text(GOOD)
+    return path
+
+
+@pytest.fixture
+def messy_file(tmp_path):
+    path = tmp_path / "messy.profiles"
+    path.write_text(MESSY)
+    return path
+
+
+@pytest.fixture
+def bad_file(tmp_path):
+    path = tmp_path / "bad.profiles"
+    path.write_text(BAD)
+    return path
+
+
+class TestCheck:
+    def test_good_file_passes(self, good_file, capsys):
+        assert main(["check", str(good_file)]) == 0
+        out = capsys.readouterr().out
+        assert "OK (1 profiles, 1 statements)" in out
+
+    def test_bad_file_fails_with_position(self, bad_file, capsys):
+        assert main(["check", str(bad_file)]) == 1
+        err = capsys.readouterr().err
+        assert "line 1" in err
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["check", str(tmp_path / "nope")]) == 1
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_mixed_files_report_all(self, good_file, bad_file, capsys):
+        assert main(["check", str(good_file), str(bad_file)]) == 1
+        captured = capsys.readouterr()
+        assert "OK" in captured.out
+        assert "line 1" in captured.err
+
+
+class TestFormat:
+    def test_prints_canonical_form(self, messy_file, capsys):
+        assert main(["format", str(messy_file)]) == 0
+        assert capsys.readouterr().out == GOOD
+
+    def test_write_rewrites_file(self, messy_file, capsys):
+        assert main(["format", "--write", str(messy_file)]) == 0
+        assert messy_file.read_text() == GOOD
+        assert "reformatted" in capsys.readouterr().out
+
+    def test_write_is_idempotent(self, good_file, capsys):
+        assert main(["format", "--write", str(good_file)]) == 0
+        assert "already canonical" in capsys.readouterr().out
+        assert good_file.read_text() == GOOD
+
+    def test_bad_file_fails(self, bad_file):
+        assert main(["format", str(bad_file)]) == 1
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["lint", "x"])

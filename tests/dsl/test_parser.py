@@ -1,0 +1,115 @@
+"""Tests for the DSL parser."""
+
+import pytest
+
+from repro.dsl import DslSyntaxError, parse
+
+
+class TestValidDocuments:
+    def test_empty_document(self):
+        assert parse("").profiles == ()
+
+    def test_single_watch(self):
+        doc = parse("profile p { watch a, b within 10; }")
+        spec = doc.profile("p")
+        statement = spec.statements[0]
+        assert statement.kind == "watch"
+        assert [r.text for r in statement.resources] == ["a", "b"]
+        assert statement.restriction == "window"
+        assert statement.window == 10
+        assert statement.grouping == "indexed"
+        assert statement.quota is None
+
+    def test_subscribe_overwrite(self):
+        doc = parse("profile p { subscribe 3 until overwrite; }")
+        statement = doc.profile("p").statements[0]
+        assert statement.kind == "subscribe"
+        assert statement.restriction == "overwrite"
+        assert statement.window is None
+
+    def test_overlap_grouping(self):
+        doc = parse("profile p { watch a, b overlap within 5; }")
+        assert doc.profile("p").statements[0].grouping == "overlap"
+
+    def test_quota_clause(self):
+        doc = parse("profile p { watch a, b, c within 5 quota 2; }")
+        assert doc.profile("p").statements[0].quota == 2
+
+    def test_numeric_resources(self):
+        doc = parse("profile p { watch 0, 12 within 5; }")
+        refs = doc.profile("p").statements[0].resources
+        assert all(ref.is_numeric for ref in refs)
+
+    def test_multiple_statements(self):
+        doc = parse("""
+            profile p {
+                watch a, b within 5;
+                subscribe c until overwrite;
+            }
+        """)
+        assert len(doc.profile("p").statements) == 2
+
+    def test_multiple_profiles(self):
+        doc = parse("profile p { watch a within 1; } "
+                    "profile q { watch b within 2; }")
+        assert [spec.name for spec in doc.profiles] == ["p", "q"]
+
+    def test_comments_anywhere(self):
+        doc = parse("""
+            # header
+            profile p {  # block
+                watch a within 5;  # statement
+            }
+        """)
+        assert len(doc.profiles) == 1
+
+    def test_profile_lookup_missing(self):
+        with pytest.raises(KeyError):
+            parse("").profile("ghost")
+
+
+class TestSyntaxErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(DslSyntaxError, match="';'"):
+            parse("profile p { watch a within 5 }")
+
+    def test_missing_brace(self):
+        with pytest.raises(DslSyntaxError, match="'{'"):
+            parse("profile p watch a within 5; }")
+
+    def test_unterminated_block(self):
+        with pytest.raises(DslSyntaxError, match="unterminated"):
+            parse("profile p { watch a within 5;")
+
+    def test_unknown_verb(self):
+        with pytest.raises(DslSyntaxError, match="watch"):
+            parse("profile p { observe a within 5; }")
+
+    def test_missing_restriction(self):
+        with pytest.raises(DslSyntaxError, match="within"):
+            parse("profile p { watch a; }")
+
+    def test_grouping_on_subscribe_rejected(self):
+        with pytest.raises(DslSyntaxError, match="watch.*only"):
+            parse("profile p { subscribe a overlap within 5; }")
+
+    def test_quota_on_subscribe_rejected(self):
+        with pytest.raises(DslSyntaxError, match="watch.*only"):
+            parse("profile p { subscribe a within 5 quota 1; }")
+
+    def test_zero_quota_rejected(self):
+        with pytest.raises(DslSyntaxError, match="quota"):
+            parse("profile p { watch a, b within 5 quota 0; }")
+
+    def test_error_carries_position(self):
+        with pytest.raises(DslSyntaxError) as excinfo:
+            parse("profile p {\n  watch a within x;\n}")
+        assert excinfo.value.line == 2
+
+    def test_missing_profile_keyword(self):
+        with pytest.raises(DslSyntaxError, match="profile"):
+            parse("watch a within 5;")
+
+    def test_eof_message(self):
+        with pytest.raises(DslSyntaxError, match="end of file"):
+            parse("profile")

@@ -1,0 +1,129 @@
+"""Printer tests + parse/format round-trip property (hypothesis)."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dsl import (
+    Document,
+    ProfileSpec,
+    ResourceRef,
+    Statement,
+    format_document,
+    format_statement,
+    parse,
+)
+
+# ---------------------------------------------------------------------
+# Strategies for random (valid) documents
+# ---------------------------------------------------------------------
+
+_ident = st.from_regex(r"[a-z][a-z0-9_/.-]{0,8}", fullmatch=True).filter(
+    # Avoid collisions with keywords in resource position; the grammar
+    # would still parse most of them, but 'indexed'/'overlap'/'within'/
+    # 'until'/'quota' in resource position are ambiguous by design.
+    lambda s: s not in {"watch", "subscribe", "indexed", "overlap",
+                        "within", "until", "overwrite", "quota",
+                        "profile", "every"}
+)
+
+
+def _ref(text: str) -> ResourceRef:
+    return ResourceRef(text=text, line=0, column=0)
+
+
+@st.composite
+def statements(draw) -> Statement:
+    kind = draw(st.sampled_from(["watch", "subscribe"]))
+    names = draw(st.lists(
+        st.one_of(_ident, st.integers(0, 99).map(str)),
+        min_size=1, max_size=4, unique=True))
+    restriction = draw(st.sampled_from(["window", "overwrite"]))
+    window = draw(st.integers(0, 50)) if restriction == "window" else None
+    grouping = "indexed"
+    quota = None
+    period = None
+    if kind == "watch":
+        grouping = draw(st.sampled_from(["indexed", "overlap"]))
+        if draw(st.booleans()):
+            quota = draw(st.integers(1, len(names)))
+        if restriction == "window" and draw(st.booleans()):
+            period = draw(st.integers(1, 40))
+    return Statement(kind=kind,
+                     resources=tuple(_ref(name) for name in names),
+                     restriction=restriction, window=window,
+                     grouping=grouping, quota=quota, period=period)
+
+
+@st.composite
+def documents(draw) -> Document:
+    count = draw(st.integers(0, 3))
+    names = draw(st.lists(_ident, min_size=count, max_size=count,
+                          unique=True))
+    profiles = []
+    for name in names:
+        stmts = draw(st.lists(statements(), min_size=1, max_size=3))
+        profiles.append(ProfileSpec(name=name, statements=tuple(stmts)))
+    return Document(profiles=tuple(profiles))
+
+
+def _normalize(document: Document) -> Document:
+    """Strip source positions for semantic comparison."""
+    profiles = []
+    for spec in document.profiles:
+        stmts = tuple(
+            replace(statement, line=0, resources=tuple(
+                _ref(ref.text) for ref in statement.resources))
+            for statement in spec.statements
+        )
+        profiles.append(ProfileSpec(name=spec.name, statements=stmts,
+                                    line=0))
+    return Document(profiles=tuple(profiles))
+
+
+class TestFormatting:
+    def test_statement_window(self):
+        statement = Statement(kind="watch",
+                              resources=(_ref("a"), _ref("b")),
+                              restriction="window", window=10)
+        assert format_statement(statement) == "watch a, b within 10;"
+
+    def test_statement_overwrite_with_quota(self):
+        statement = Statement(kind="watch",
+                              resources=(_ref("a"), _ref("b")),
+                              restriction="overwrite", window=None,
+                              grouping="overlap", quota=1)
+        assert format_statement(statement) == \
+            "watch a, b overlap until overwrite quota 1;"
+
+    def test_subscribe(self):
+        statement = Statement(kind="subscribe", resources=(_ref("f"),),
+                              restriction="overwrite", window=None)
+        assert format_statement(statement) == \
+            "subscribe f until overwrite;"
+
+    def test_empty_document(self):
+        assert format_document(Document(profiles=())) == ""
+
+    def test_document_layout(self):
+        text = format_document(parse(
+            "profile p { watch a within 5; }"))
+        assert text == "profile p {\n    watch a within 5;\n}\n"
+
+
+class TestRoundTrip:
+    @given(document=documents())
+    @settings(max_examples=120)
+    def test_parse_format_round_trip(self, document):
+        formatted = format_document(document)
+        reparsed = parse(formatted)
+        assert _normalize(reparsed) == _normalize(document)
+
+    @given(document=documents())
+    @settings(max_examples=60)
+    def test_formatting_is_idempotent(self, document):
+        once = format_document(document)
+        twice = format_document(parse(once))
+        assert once == twice

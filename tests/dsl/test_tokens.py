@@ -1,0 +1,54 @@
+"""Tests for the DSL tokenizer."""
+
+import pytest
+
+from repro.dsl import DslSyntaxError, tokenize
+
+
+def kinds(text):
+    return [token.kind for token in tokenize(text)]
+
+
+class TestTokenKinds:
+    def test_empty_input(self):
+        assert kinds("") == ["EOF"]
+
+    def test_identifiers(self):
+        tokens = tokenize("watch feed/cnn market-0 a_b")
+        assert [t.value for t in tokens[:-1]] == [
+            "watch", "feed/cnn", "market-0", "a_b"]
+        assert all(t.kind == "IDENT" for t in tokens[:-1])
+
+    def test_integers(self):
+        tokens = tokenize("12 345")
+        assert [(t.kind, t.value) for t in tokens[:-1]] == [
+            ("INT", "12"), ("INT", "345")]
+
+    def test_punctuation(self):
+        assert kinds("{ } , ;") == ["LBRACE", "RBRACE", "COMMA", "SEMI",
+                                    "EOF"]
+
+    def test_comments_stripped(self):
+        assert kinds("# a comment\nwatch # trailing\n") == ["IDENT",
+                                                            "EOF"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(DslSyntaxError, match="unexpected character"):
+            tokenize("watch @")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_position(self):
+        with pytest.raises(DslSyntaxError) as excinfo:
+            tokenize("ok\n   %")
+        assert excinfo.value.line == 2
+        assert excinfo.value.column == 4
+
+    def test_multidigit_column(self):
+        tokens = tokenize("abc 42")
+        assert tokens[1].column == 5

@@ -1,0 +1,91 @@
+"""Tests for the client-churn experiment."""
+
+import pytest
+
+from repro.experiments import ChurnConfig, jain_index, run_churn
+from repro.core import WorkloadError
+
+
+def _config(**overrides) -> ChurnConfig:
+    defaults = dict(epoch_length=120, num_resources=20, intensity=6.0,
+                    num_clients=4, profiles_per_client=4, seed=99)
+    defaults.update(overrides)
+    return ChurnConfig(**defaults)
+
+
+class TestJainIndex:
+    def test_equal_values_perfectly_fair(self):
+        assert jain_index([0.5, 0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_single_winner_is_1_over_n(self):
+        assert jain_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_and_zero_are_vacuously_fair(self):
+        assert jain_index([]) == 1.0
+        assert jain_index([0.0, 0.0]) == 1.0
+
+    def test_bounded(self):
+        values = [0.9, 0.1, 0.4]
+        assert 1 / 3 <= jain_index(values) <= 1.0
+
+
+class TestChurnConfig:
+    def test_invalid_spread(self):
+        with pytest.raises(WorkloadError):
+            _config(join_spread=1.5)
+
+    def test_invalid_leave_probability(self):
+        with pytest.raises(WorkloadError):
+            _config(leave_probability=-0.1)
+
+    def test_zero_clients_rejected(self):
+        with pytest.raises(WorkloadError):
+            _config(num_clients=0)
+
+
+class TestRunChurn:
+    def test_static_join_baseline(self):
+        result = run_churn(_config(join_spread=0.0))
+        assert all(client.joined_at == 0 for client in result.clients)
+        assert result.dropped == 0
+        assert 0.0 <= result.overall_completeness <= 1.0
+
+    def test_spread_joins_are_staggered(self):
+        result = run_churn(_config(join_spread=0.8))
+        joins = [client.joined_at for client in result.clients]
+        assert max(joins) > 0
+
+    def test_spread_reduces_completeness(self):
+        static = run_churn(_config(join_spread=0.0))
+        spread = run_churn(_config(join_spread=0.8))
+        assert spread.overall_completeness <= \
+            static.overall_completeness + 0.02
+
+    def test_leavers_produce_drops(self):
+        result = run_churn(_config(leave_probability=1.0))
+        assert result.dropped > 0
+        assert all(client.left_at is not None
+                   for client in result.clients)
+
+    def test_accounting_consistency(self):
+        result = run_churn(_config(join_spread=0.5,
+                                   leave_probability=0.5))
+        registered = sum(client.registered for client in result.clients)
+        assert registered == (result.completed + result.expired
+                              + result.dropped)
+
+    def test_notifications_bounded_by_registered(self):
+        result = run_churn(_config(join_spread=0.3))
+        for client in result.clients:
+            assert 0 <= client.notified <= client.registered
+
+    def test_fairness_in_unit_interval(self):
+        result = run_churn(_config(join_spread=0.5))
+        assert 0.0 < result.fairness <= 1.0
+
+    def test_deterministic(self):
+        first = run_churn(_config(join_spread=0.5))
+        second = run_churn(_config(join_spread=0.5))
+        assert first.completed == second.completed
+        assert [c.notified for c in first.clients] == \
+            [c.notified for c in second.clients]

@@ -1,0 +1,63 @@
+"""Tests for the repro-experiments CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["table1"])
+        assert args.experiment == "table1"
+        assert args.scale == "default"
+
+    def test_scale_option(self):
+        args = build_parser().parse_args(["fig4", "--scale", "smoke"])
+        assert args.scale == "smoke"
+
+    def test_csv_flag(self):
+        args = build_parser().parse_args(["fig8", "--csv"])
+        assert args.csv
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+
+class TestMain:
+    def test_table1_smoke(self, capsys):
+        assert main(["table1", "--scale", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "mean GC" in output
+        assert "S-EDF(NP)" in output
+        assert "configuration" in output
+
+    def test_fig8_smoke_table(self, capsys):
+        assert main(["fig8", "--scale", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "budget" in output
+        assert "gained completeness" in output
+
+    def test_fig8_smoke_csv(self, capsys):
+        assert main(["fig8", "--scale", "smoke", "--csv"]) == 0
+        output = capsys.readouterr().out
+        assert output.startswith("# Figure 8")
+        assert "budget,S-EDF(NP)" in output
+
+    def test_fig7_two_panels(self, capsys):
+        assert main(["fig7", "--scale", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 7(1)" in output
+        assert "Figure 7(2)" in output
+
+    def test_table1_csv(self, capsys):
+        assert main(["table1", "--scale", "smoke", "--csv"]) == 0
+        output = capsys.readouterr().out
+        assert "policy,mean_gc" in output
+
+    def test_stats_subcommand(self, capsys):
+        assert main(["stats", "--scale", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "instance statistics" in output
+        assert "rank(P)" in output

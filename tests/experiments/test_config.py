@@ -1,0 +1,73 @@
+"""Tests for experiment configuration and scales."""
+
+import pytest
+
+from repro.core import BudgetVector
+from repro.experiments import SCALES, ExperimentConfig, baseline
+
+
+class TestExperimentConfig:
+    def test_defaults_match_paper_table1(self):
+        config = ExperimentConfig()
+        assert config.epoch_length == 1000
+        assert config.num_resources == 400
+        assert config.max_rank == 3
+        assert config.intensity == 20.0
+        assert config.budget == 1
+        assert config.window == 20
+        assert config.repetitions == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(epoch_length=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(num_resources=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(max_rank=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(intensity=-1)
+        with pytest.raises(ValueError):
+            ExperimentConfig(budget=-1)
+        with pytest.raises(ValueError):
+            ExperimentConfig(repetitions=0)
+
+    def test_epoch_property(self):
+        assert len(ExperimentConfig(epoch_length=50).epoch) == 50
+
+    def test_budget_vector_property(self):
+        config = ExperimentConfig(budget=3)
+        assert config.budget_vector == BudgetVector(3)
+
+    def test_with_replaces_fields(self):
+        config = ExperimentConfig()
+        changed = config.with_(budget=5, alpha=1.37)
+        assert changed.budget == 5
+        assert changed.alpha == 1.37
+        assert config.budget == 1  # original untouched
+
+    def test_describe_covers_all_knobs(self):
+        rows = dict(ExperimentConfig().describe())
+        assert rows["budget C"] == "1"
+        assert rows["window W"] == "20"
+        assert rows["rank(P) k"] == "3"
+
+    def test_describe_overwrite_window(self):
+        rows = dict(ExperimentConfig(window=None).describe())
+        assert rows["window W"] == "overwrite"
+
+
+class TestScales:
+    def test_three_scales_exist(self):
+        assert set(SCALES) == {"paper", "default", "smoke"}
+
+    def test_paper_scale_is_default_config(self):
+        assert baseline("paper") == ExperimentConfig()
+
+    def test_smaller_scales_shrink(self):
+        assert (baseline("smoke").num_profiles
+                < baseline("default").num_profiles
+                < baseline("paper").num_profiles)
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            baseline("giant")

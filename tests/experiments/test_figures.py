@@ -1,0 +1,116 @@
+"""Smoke-scale checks of every figure reproduction.
+
+These tests exercise the full per-figure pipelines at the tiny "smoke"
+scale and assert structural properties plus the monotone trends that are
+robust even at small scale. Shape assertions against the paper (who wins,
+crossovers) are checked at the default scale by the benchmark suite and
+recorded in EXPERIMENTS.md — at smoke scale they would be noise.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ALL_POLICY_VARIANTS,
+    OFFLINE_LABEL,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table1,
+)
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return figure4("smoke")
+
+
+@pytest.fixture(scope="module")
+def fig8():
+    return figure8("smoke")
+
+
+class TestTable1:
+    def test_all_variants_run(self):
+        outcome = table1("smoke")
+        assert set(outcome.labels()) == set(ALL_POLICY_VARIANTS)
+        for label in outcome.labels():
+            assert 0.0 <= outcome.mean_gc(label) <= 1.0
+
+
+class TestFigure3:
+    def test_runs_on_auction_trace(self):
+        outcome = figure3("smoke")
+        assert set(outcome.labels()) == set(ALL_POLICY_VARIANTS)
+        assert outcome.config.budget == 2
+
+
+class TestFigure4:
+    def test_includes_offline(self, fig4):
+        assert OFFLINE_LABEL in fig4.labels()
+
+    def test_rank_one_online_policies_coincide(self, fig4):
+        # Proposition 5 territory: on P^[1] MRSF == M-EDF; at rank 1 all
+        # online policies are per-chronon optimal and equal.
+        sedf = fig4.series("S-EDF(NP)")[0]
+        mrsf = fig4.series("MRSF(P)")[0]
+        assert sedf == pytest.approx(mrsf, abs=0.02)
+
+    def test_gc_decreases_with_rank(self, fig4):
+        series = fig4.series("MRSF(P)")
+        assert series[0] >= series[-1]
+
+    def test_unit_width_instances(self, fig4):
+        assert fig4.runs[0].config.window == 0
+
+
+class TestFigure5:
+    def test_two_panels(self):
+        pair = figure5("smoke")
+        assert pair.left.parameter == "num_profiles"
+        assert pair.right.parameter == "num_profiles"
+        assert OFFLINE_LABEL in pair.left.labels()
+        assert OFFLINE_LABEL not in pair.right.labels()
+
+    def test_runtime_series_positive(self):
+        pair = figure5("smoke")
+        for label in pair.left.labels():
+            assert all(value >= 0.0
+                       for value in pair.left.series(label, "runtime"))
+
+
+class TestFigure6:
+    def test_gc_decreases_with_intensity(self):
+        pair = figure6("smoke")
+        for label in pair.left.labels():
+            series = pair.left.series(label)
+            assert series[0] >= series[-1] - 0.05
+
+    def test_gc_decreases_with_profiles(self):
+        pair = figure6("smoke")
+        for label in pair.right.labels():
+            series = pair.right.series(label)
+            assert series[0] >= series[-1] - 0.05
+
+
+class TestFigure7:
+    def test_gc_increases_with_alpha(self):
+        pair = figure7("smoke")
+        for label in pair.left.labels():
+            series = pair.left.series(label)
+            assert series[-1] >= series[0] - 0.05
+
+    def test_beta_sweep_runs(self):
+        pair = figure7("smoke")
+        assert pair.right.parameter == "beta"
+        assert len(pair.right.runs) == 3
+
+
+class TestFigure8:
+    def test_gc_monotone_in_budget(self, fig8):
+        for label in fig8.labels():
+            series = fig8.series(label)
+            for left, right in zip(series, series[1:]):
+                assert right >= left - 0.02

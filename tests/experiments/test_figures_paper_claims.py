@@ -1,0 +1,60 @@
+"""Default-scale shape regression tests for the paper's headline claims.
+
+The benchmark suite asserts these shapes too, but benches only run with
+``--benchmark-only``; this module pins the two cheapest, most
+load-bearing claims into the ordinary test run so a regression cannot
+slip through a tests-only CI. Kept to reduced sizes (seconds, not
+minutes).
+"""
+
+import pytest
+
+from repro.experiments import (
+    OFFLINE_LABEL,
+    ExperimentConfig,
+    run_setting,
+    sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def small_fig4():
+    """A shrunk Figure-4 sweep: rank in {1, 3}, W=0, C=1."""
+    config = ExperimentConfig(
+        epoch_length=200, num_resources=80, num_profiles=100,
+        intensity=10.0, window=0, grouping="indexed", budget=1,
+        repetitions=2, seed=777)
+    return sweep("mini-fig4", config, "max_rank", [1, 3],
+                 policies=["S-EDF(NP)", "MRSF(P)"],
+                 include_offline=True)
+
+
+class TestHeadlineClaims:
+    def test_gc_decreases_with_rank(self, small_fig4):
+        series = small_fig4.series("MRSF(P)")
+        assert series[0] > series[1]
+
+    def test_rank_one_policies_coincide(self, small_fig4):
+        assert small_fig4.series("MRSF(P)")[0] == pytest.approx(
+            small_fig4.series("S-EDF(NP)")[0])
+
+    def test_mrsf_beats_offline_approximation(self, small_fig4):
+        mrsf = small_fig4.series("MRSF(P)")
+        offline = small_fig4.series(OFFLINE_LABEL)
+        for index in range(len(mrsf)):
+            assert mrsf[index] >= offline[index] - 1e-9
+
+    def test_sedf_np_dominated_at_rank_three(self, small_fig4):
+        sedf = small_fig4.series("S-EDF(NP)")[1]
+        offline = small_fig4.series(OFFLINE_LABEL)[1]
+        assert sedf <= offline + 0.02
+
+    def test_tinterval_aware_policies_lead_at_baseline(self):
+        config = ExperimentConfig(
+            epoch_length=200, num_resources=80, num_profiles=100,
+            intensity=10.0, window=10, grouping="overlap", budget=1,
+            repetitions=2, seed=778)
+        outcome = run_setting(config, policies=[
+            "S-EDF(NP)", "S-EDF(P)", "MRSF(P)", "M-EDF(P)"])
+        assert outcome.mean_gc("MRSF(P)") > outcome.mean_gc("S-EDF(NP)")
+        assert outcome.mean_gc("M-EDF(P)") > outcome.mean_gc("S-EDF(NP)")

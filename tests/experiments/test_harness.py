@@ -1,0 +1,111 @@
+"""Tests for the experiment harness (instances, settings, sweeps)."""
+
+import pytest
+
+from repro.experiments import (
+    OFFLINE_LABEL,
+    ExperimentConfig,
+    make_instance,
+    run_setting,
+    sweep,
+)
+
+
+@pytest.fixture
+def tiny_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        epoch_length=60, num_resources=10, num_profiles=8,
+        intensity=6.0, window=4, repetitions=2, grouping="indexed",
+        seed=42)
+
+
+class TestMakeInstance:
+    def test_deterministic_per_repetition(self, tiny_config):
+        first = make_instance(tiny_config, 0)
+        second = make_instance(tiny_config, 0)
+        assert list(first[0]) == list(second[0])
+        assert first[1].total_tintervals == second[1].total_tintervals
+
+    def test_repetitions_differ(self, tiny_config):
+        first_trace, _ = make_instance(tiny_config, 0)
+        second_trace, _ = make_instance(tiny_config, 1)
+        assert list(first_trace) != list(second_trace)
+
+    def test_profile_count_matches_config(self, tiny_config):
+        _, profiles = make_instance(tiny_config, 0)
+        assert len(profiles) == 8
+
+    def test_auction_source(self, tiny_config):
+        trace, profiles = make_instance(tiny_config, 0, source="auction")
+        assert len(trace) > 0
+        assert len(profiles) == 8
+
+    def test_unknown_source_rejected(self, tiny_config):
+        with pytest.raises(ValueError, match="source"):
+            make_instance(tiny_config, 0, source="oracle")
+
+
+class TestRunSetting:
+    def test_all_policies_present(self, tiny_config):
+        outcome = run_setting(tiny_config, policies=["S-EDF(P)",
+                                                     "MRSF(P)"])
+        assert set(outcome.labels()) == {"S-EDF(P)", "MRSF(P)"}
+
+    def test_repetition_count(self, tiny_config):
+        outcome = run_setting(tiny_config, policies=["S-EDF(P)"])
+        assert len(outcome.outcomes["S-EDF(P)"].gc_values) == 2
+
+    def test_gc_in_unit_interval(self, tiny_config):
+        outcome = run_setting(tiny_config, policies=["MRSF(P)"])
+        for value in outcome.outcomes["MRSF(P)"].gc_values:
+            assert 0.0 <= value <= 1.0
+
+    def test_offline_included_when_requested(self, tiny_config):
+        outcome = run_setting(tiny_config.with_(window=0),
+                              policies=["MRSF(P)"],
+                              include_offline=True)
+        assert OFFLINE_LABEL in outcome.labels()
+
+    def test_mean_and_stdev(self, tiny_config):
+        outcome = run_setting(tiny_config, policies=["S-EDF(P)"])
+        policy_outcome = outcome.outcomes["S-EDF(P)"]
+        assert policy_outcome.mean_gc == pytest.approx(
+            sum(policy_outcome.gc_values) / 2)
+        assert policy_outcome.stdev_gc >= 0.0
+
+    def test_single_repetition_stdev_zero(self, tiny_config):
+        outcome = run_setting(tiny_config.with_(repetitions=1),
+                              policies=["S-EDF(P)"])
+        assert outcome.outcomes["S-EDF(P)"].stdev_gc == 0.0
+
+
+class TestSweep:
+    def test_sweep_runs_each_value(self, tiny_config):
+        result = sweep("test", tiny_config, "budget", [1, 2],
+                       policies=["S-EDF(P)"])
+        assert result.x_values == (1, 2)
+        assert len(result.runs) == 2
+
+    def test_series_extraction(self, tiny_config):
+        result = sweep("test", tiny_config, "budget", [1, 2],
+                       policies=["S-EDF(P)"])
+        series = result.series("S-EDF(P)")
+        assert len(series) == 2
+        # More budget can never hurt on the same instances.
+        assert series[1] >= series[0]
+
+    def test_runtime_metric(self, tiny_config):
+        result = sweep("test", tiny_config, "budget", [1],
+                       policies=["S-EDF(P)"])
+        assert result.series("S-EDF(P)", metric="runtime")[0] >= 0.0
+
+    def test_unknown_metric_rejected(self, tiny_config):
+        result = sweep("test", tiny_config, "budget", [1],
+                       policies=["S-EDF(P)"])
+        with pytest.raises(ValueError, match="metric"):
+            result.series("S-EDF(P)", metric="latency")
+
+    def test_labels(self, tiny_config):
+        result = sweep("test", tiny_config, "budget", [1],
+                       policies=["S-EDF(P)", "MRSF(P)"])
+        assert set(result.labels()) == {"S-EDF(P)", "MRSF(P)"}

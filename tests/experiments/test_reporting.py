@@ -1,0 +1,72 @@
+"""Tests for ASCII/CSV reporting."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig, sweep
+from repro.experiments.reporting import render_table, sweep_csv, sweep_table
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    config = ExperimentConfig(
+        epoch_length=50, num_resources=8, num_profiles=6, intensity=5.0,
+        window=4, repetitions=1, grouping="indexed", seed=3)
+    return sweep("Demo", config, "budget", [1, 2],
+                 policies=["S-EDF(P)", "MRSF(P)"])
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, 0.125]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "-+-" in lines[1]
+        assert len(lines) == 4
+
+    def test_title(self):
+        text = render_table(["x"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_floats_formatted(self):
+        text = render_table(["x"], [[0.123456]])
+        assert "0.1235" in text
+
+    def test_column_padding(self):
+        text = render_table(["long-header", "b"], [[1, 2]])
+        rows = text.splitlines()
+        assert rows[0].index("| b") == rows[2].index("| 2")
+
+
+class TestSweepTable:
+    def test_contains_parameter_and_policies(self, sweep_result):
+        text = sweep_table(sweep_result)
+        assert "budget" in text
+        assert "S-EDF(P)" in text
+        assert "MRSF(P)" in text
+
+    def test_one_row_per_value(self, sweep_result):
+        lines = sweep_table(sweep_result).splitlines()
+        # title + header + separator + 2 data rows
+        assert len(lines) == 5
+
+    def test_runtime_metric_title(self, sweep_result):
+        text = sweep_table(sweep_result, metric="runtime")
+        assert "runtime" in text
+
+    def test_label_subset(self, sweep_result):
+        text = sweep_table(sweep_result, labels=["MRSF(P)"])
+        assert "MRSF(P)" in text
+        assert "S-EDF(P)" not in text
+
+
+class TestSweepCsv:
+    def test_header_row(self, sweep_result):
+        lines = sweep_csv(sweep_result).splitlines()
+        assert lines[0] == "budget,S-EDF(P),MRSF(P)"
+
+    def test_data_rows(self, sweep_result):
+        lines = sweep_csv(sweep_result).splitlines()
+        assert len(lines) == 3
+        first = lines[1].split(",")
+        assert first[0] == "1"
+        assert 0.0 <= float(first[1]) <= 1.0

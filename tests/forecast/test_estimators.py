@@ -1,0 +1,119 @@
+"""Tests for update-behavior estimators."""
+
+import pytest
+
+from repro.core import Epoch, ModelError
+from repro.forecast import (
+    AdaptiveEstimator,
+    PeriodicityEstimator,
+    PoissonRateEstimator,
+    fit_trace,
+)
+from repro.traces import PeriodicUpdateModel, UpdateEvent, UpdateTrace
+
+
+class TestPoissonRateEstimator:
+    def test_rate_is_mle(self):
+        fit = PoissonRateEstimator().fit_resource(0, [10, 20, 30, 40],
+                                                  train_end=100)
+        # 4 updates over 100 chronons -> gap 25.
+        assert fit.gap == pytest.approx(25.0)
+        assert fit.model == "poisson"
+        assert fit.last_update == 40
+
+    def test_insufficient_history_silent(self):
+        fit = PoissonRateEstimator(min_updates=2).fit_resource(
+            0, [10], train_end=100)
+        assert fit.model == "silent"
+        assert fit.gap is None
+        assert fit.predict(200) == []
+
+    def test_ignores_post_training_events(self):
+        fit = PoissonRateEstimator().fit_resource(
+            0, [10, 20, 150], train_end=100)
+        assert fit.last_update == 20
+        assert fit.gap == pytest.approx(50.0)
+
+    def test_invalid_train_end(self):
+        with pytest.raises(ModelError):
+            PoissonRateEstimator().fit_resource(0, [1], train_end=0)
+
+    def test_invalid_min_updates(self):
+        with pytest.raises(ModelError):
+            PoissonRateEstimator(min_updates=0)
+
+
+class TestPeriodicityEstimator:
+    def test_median_gap(self):
+        fit = PeriodicityEstimator().fit_resource(
+            0, [10, 20, 30, 41], train_end=100)
+        assert fit.gap == pytest.approx(10.0)
+        assert fit.model == "periodic"
+
+    def test_robust_to_outlier_gap(self):
+        fit = PeriodicityEstimator().fit_resource(
+            0, [10, 20, 30, 40, 90], train_end=100)
+        assert fit.gap == pytest.approx(10.0)
+
+    def test_insufficient_history(self):
+        fit = PeriodicityEstimator().fit_resource(0, [10, 20],
+                                                  train_end=100)
+        assert fit.model == "silent"
+
+    def test_invalid_min_updates(self):
+        with pytest.raises(ModelError):
+            PeriodicityEstimator(min_updates=1)
+
+
+class TestAdaptiveEstimator:
+    def test_clockwork_history_goes_periodic(self):
+        fit = AdaptiveEstimator().fit_resource(
+            0, [10, 20, 30, 40, 50], train_end=100)
+        assert fit.model == "periodic"
+
+    def test_bursty_history_goes_poisson(self):
+        fit = AdaptiveEstimator().fit_resource(
+            0, [5, 6, 40, 41, 90], train_end=100)
+        assert fit.model == "poisson"
+
+    def test_short_history_falls_back_to_poisson(self):
+        fit = AdaptiveEstimator().fit_resource(0, [10, 50],
+                                               train_end=100)
+        assert fit.model == "poisson"
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ModelError):
+            AdaptiveEstimator(cv_threshold=0)
+
+
+class TestPrediction:
+    def test_predictions_follow_gap(self):
+        fit = PoissonRateEstimator().fit_resource(0, [10, 20],
+                                                  train_end=100)
+        # gap = 50, last update 20 -> predictions 70, 120 (within 150).
+        assert fit.predict(150) == [70, 120]
+
+    def test_predictions_bounded_by_horizon(self):
+        fit = PeriodicityEstimator().fit_resource(0, [10, 20, 30],
+                                                  train_end=50)
+        assert all(chronon <= 60 for chronon in fit.predict(60))
+
+    def test_predictions_strictly_increasing(self):
+        fit = PeriodicityEstimator().fit_resource(0, [1, 2, 3],
+                                                  train_end=10)
+        predictions = fit.predict(30)
+        assert predictions == sorted(set(predictions))
+
+
+class TestFitTrace:
+    def test_fits_every_resource(self):
+        epoch = Epoch(100)
+        trace = PeriodicUpdateModel(10).generate([0, 1, 2], epoch)
+        fits = fit_trace(PeriodicityEstimator(), trace, train_end=60)
+        assert set(fits) == {0, 1, 2}
+        assert all(fit.model == "periodic" for fit in fits.values())
+
+    def test_silent_resource(self):
+        trace = UpdateTrace([UpdateEvent(5, 0)], Epoch(50))
+        fits = fit_trace(PoissonRateEstimator(), trace, train_end=40)
+        assert fits[0].model == "silent"

@@ -1,0 +1,129 @@
+"""Tests for predicted update traces and the knowledge-gap evaluation."""
+
+import pytest
+
+from repro.core import BudgetVector, Epoch, ModelError
+from repro.forecast import (
+    AdaptiveEstimator,
+    ForecastUpdateModel,
+    PeriodicityEstimator,
+    PoissonRateEstimator,
+    evaluate_knowledge_gap,
+)
+from repro.online import MRSFPolicy
+from repro.traces import PeriodicUpdateModel, PoissonUpdateModel
+from repro.workloads import GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def epoch() -> Epoch:
+    return Epoch(200)
+
+
+@pytest.fixture(scope="module")
+def periodic_trace(epoch):
+    return PeriodicUpdateModel(20).generate(range(8), epoch)
+
+
+class TestForecastUpdateModel:
+    def test_predictions_only_after_train_end(self, periodic_trace,
+                                              epoch):
+        model = ForecastUpdateModel(periodic_trace,
+                                    PeriodicityEstimator(), train_end=100)
+        predicted = model.generate(range(8), epoch)
+        assert all(event.chronon > 100 for event in predicted)
+
+    def test_periodic_predictions_exact(self, periodic_trace, epoch):
+        model = ForecastUpdateModel(periodic_trace,
+                                    PeriodicityEstimator(), train_end=100)
+        predicted = model.generate([0], epoch)
+        actual = model.actual_window(epoch)
+        assert predicted.update_chronons(0) == actual.update_chronons(0)
+
+    def test_predicted_payload_marker(self, periodic_trace, epoch):
+        model = ForecastUpdateModel(periodic_trace,
+                                    PoissonRateEstimator(), train_end=100)
+        predicted = model.generate(range(8), epoch)
+        assert all(event.payload == "predicted" for event in predicted)
+
+    def test_actual_window_excludes_training(self, periodic_trace,
+                                             epoch):
+        model = ForecastUpdateModel(periodic_trace,
+                                    PoissonRateEstimator(), train_end=100)
+        actual = model.actual_window(epoch)
+        assert all(event.chronon > 100 for event in actual)
+
+    def test_invalid_train_end_rejected(self, periodic_trace):
+        with pytest.raises(ModelError, match="train_end"):
+            ForecastUpdateModel(periodic_trace, PoissonRateEstimator(),
+                                train_end=0)
+        with pytest.raises(ModelError, match="evaluation window"):
+            ForecastUpdateModel(periodic_trace, PoissonRateEstimator(),
+                                train_end=200)
+
+    def test_fit_for_exposes_fits(self, periodic_trace):
+        model = ForecastUpdateModel(periodic_trace,
+                                    PeriodicityEstimator(), train_end=100)
+        fit = model.fit_for(0)
+        assert fit is not None and fit.model == "periodic"
+        assert model.fit_for(99) is None
+
+
+class TestKnowledgeGap:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return GeneratorConfig(num_profiles=25, max_rank=2, window=6,
+                               grouping="indexed", seed=9)
+
+    def test_periodic_trace_no_degradation(self, config):
+        epoch = Epoch(300)
+        trace = PeriodicUpdateModel(
+            20, phases={r: (3 * r) % 20 for r in range(12)}
+        ).generate(range(12), epoch)
+        result = evaluate_knowledge_gap(
+            trace, PeriodicityEstimator(), train_end=150,
+            generator_config=config, epoch=epoch,
+            budget=BudgetVector(1), policy=MRSFPolicy())
+        assert result.degradation == pytest.approx(0.0, abs=0.02)
+
+    def test_poisson_trace_degrades(self, config):
+        epoch = Epoch(300)
+        trace = PoissonUpdateModel(15, seed=4).generate(range(12), epoch)
+        result = evaluate_knowledge_gap(
+            trace, PoissonRateEstimator(), train_end=150,
+            generator_config=config, epoch=epoch,
+            budget=BudgetVector(1), policy=MRSFPolicy())
+        assert result.gc_predicted < result.gc_perfect
+        assert 0.0 < result.degradation <= 1.0
+
+    def test_adaptive_matches_periodic_on_clockwork(self, config):
+        epoch = Epoch(300)
+        trace = PeriodicUpdateModel(
+            25, phases={r: r % 25 for r in range(10)}
+        ).generate(range(10), epoch)
+        adaptive = evaluate_knowledge_gap(
+            trace, AdaptiveEstimator(), train_end=150,
+            generator_config=config, epoch=epoch,
+            budget=BudgetVector(1), policy=MRSFPolicy())
+        periodic = evaluate_knowledge_gap(
+            trace, PeriodicityEstimator(), train_end=150,
+            generator_config=config, epoch=epoch,
+            budget=BudgetVector(1), policy=MRSFPolicy())
+        assert adaptive.gc_predicted == pytest.approx(
+            periodic.gc_predicted, abs=0.05)
+
+    def test_event_counts_reported(self, config):
+        epoch = Epoch(300)
+        trace = PoissonUpdateModel(10, seed=5).generate(range(10), epoch)
+        result = evaluate_knowledge_gap(
+            trace, PoissonRateEstimator(), train_end=150,
+            generator_config=config, epoch=epoch,
+            budget=BudgetVector(1), policy=MRSFPolicy())
+        assert result.actual_events > 0
+        assert result.predicted_events > 0
+
+    def test_degradation_zero_when_perfect_is_zero(self):
+        from repro.forecast.evaluation import KnowledgeGapResult
+        result = KnowledgeGapResult(gc_perfect=0.0, gc_predicted=0.0,
+                                    predicted_events=0, actual_events=0)
+        assert result.degradation == 0.0

@@ -1,0 +1,133 @@
+"""End-to-end pipeline tests: trace -> profiles -> policies -> report."""
+
+import pytest
+
+from repro.core import BudgetVector, Epoch, evaluate_schedule
+from repro.offline import LocalRatioApproximation, MILPSolver
+from repro.online import make_policy, parse_policy_spec
+from repro.simulation import run_online
+from repro.traces import (
+    AuctionTraceSynthesizer,
+    FeedTraceSynthesizer,
+    FPNUpdateModel,
+    StockMarketSynthesizer,
+    UpdateTrace,
+)
+from repro.workloads import (
+    AuctionWatchTemplate,
+    GeneratorConfig,
+    ProfileGenerator,
+    WindowRestriction,
+)
+
+
+class TestAuctionPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        epoch = Epoch(300)
+        synthesizer = AuctionTraceSynthesizer(60, epoch, mean_bids=10.0,
+                                              seed=5)
+        trace = synthesizer.generate()
+        generator = ProfileGenerator(GeneratorConfig(
+            num_profiles=40, max_rank=3, alpha=1.0, window=15,
+            grouping="overlap", seed=6))
+        profiles = generator.generate(trace, epoch)
+        return epoch, trace, profiles
+
+    def test_profiles_generated(self, pipeline):
+        _epoch, _trace, profiles = pipeline
+        assert len(profiles) == 40
+        assert profiles.rank <= 3
+
+    def test_all_policy_variants_run(self, pipeline):
+        epoch, _trace, profiles = pipeline
+        budget = BudgetVector(2)
+        for spec in ("S-EDF(P)", "S-EDF(NP)", "MRSF(P)", "MRSF(NP)",
+                     "M-EDF(P)", "M-EDF(NP)"):
+            policy, preemptive = parse_policy_spec(spec)
+            result = run_online(profiles, epoch, budget, policy,
+                                preemptive=preemptive)
+            assert 0.0 <= result.gc <= 1.0
+            assert result.schedule.respects_budget(budget, epoch)
+
+    def test_offline_approximation_runs(self, pipeline):
+        epoch, _trace, profiles = pipeline
+        budget = BudgetVector(2)
+        result = LocalRatioApproximation().solve(profiles, epoch, budget)
+        assert result.schedule.respects_budget(budget, epoch)
+
+    def test_csv_round_trip_preserves_results(self, pipeline, tmp_path):
+        epoch, trace, _profiles = pipeline
+        path = tmp_path / "auction.csv"
+        trace.to_csv(path)
+        reloaded = UpdateTrace.from_csv(path, epoch)
+        generator = ProfileGenerator(GeneratorConfig(
+            num_profiles=10, max_rank=2, window=10, seed=7))
+        original_profiles = generator.generate(trace, epoch)
+        reloaded_profiles = generator.generate(reloaded, epoch)
+        budget = BudgetVector(1)
+        first = run_online(original_profiles, epoch, budget,
+                           make_policy("MRSF"))
+        second = run_online(reloaded_profiles, epoch, budget,
+                            make_policy("MRSF"))
+        assert first.report.captured == second.report.captured
+
+
+class TestFPNPipeline:
+    def test_fpn_model_feeds_generator(self):
+        epoch = Epoch(200)
+        recorded = FeedTraceSynthesizer(20, epoch, seed=8).generate()
+        model = FPNUpdateModel(recorded)
+        replay = model.generate(range(20), epoch)
+        generator = ProfileGenerator(GeneratorConfig(
+            num_profiles=15, max_rank=2, window=10, seed=9))
+        profiles = generator.generate(replay, epoch)
+        result = run_online(profiles, epoch, BudgetVector(1),
+                            make_policy("M-EDF"))
+        assert result.report.captured + result.expired == \
+            profiles.total_tintervals
+
+
+class TestArbitragePipeline:
+    def test_overlap_grouping_produces_overlapping_pairs(self):
+        epoch = Epoch(250)
+        synthesizer = StockMarketSynthesizer(2, epoch,
+                                             updates_per_market=30,
+                                             seed=10)
+        trace = synthesizer.generate()
+        template = AuctionWatchTemplate(WindowRestriction(8),
+                                        grouping="overlap")
+        profile = template.build_profile([0, 1], trace, epoch)
+        for eta in profile:
+            eis = list(eta)
+            assert eis[0].overlaps(eis[1])
+
+
+class TestOnlineVsOffline:
+    def test_online_bounded_by_optimum_on_small_instance(self):
+        epoch = Epoch(60)
+        synthesizer = AuctionTraceSynthesizer(8, epoch, mean_bids=4.0,
+                                              seed=11)
+        trace = synthesizer.generate()
+        generator = ProfileGenerator(GeneratorConfig(
+            num_profiles=6, max_rank=2, window=5, seed=12))
+        profiles = generator.generate(trace, epoch)
+        budget = BudgetVector(1)
+        optimum = MILPSolver().solve(profiles, epoch, budget)
+        for name in ("S-EDF", "MRSF", "M-EDF"):
+            online = run_online(profiles, epoch, budget,
+                                make_policy(name))
+            assert online.report.captured <= optimum.report.captured
+
+    def test_reports_consistent_across_paths(self):
+        epoch = Epoch(80)
+        synthesizer = AuctionTraceSynthesizer(10, epoch, mean_bids=5.0,
+                                              seed=13)
+        trace = synthesizer.generate()
+        generator = ProfileGenerator(GeneratorConfig(
+            num_profiles=8, max_rank=2, window=6, seed=14))
+        profiles = generator.generate(trace, epoch)
+        result = run_online(profiles, epoch, BudgetVector(1),
+                            make_policy("MRSF"))
+        rescored = evaluate_schedule(profiles, result.schedule)
+        assert rescored.captured == result.report.captured

@@ -1,0 +1,35 @@
+"""Every example script must run to completion under a clean interpreter.
+
+The examples are part of the public deliverable; breaking one should fail
+CI, not a user.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS,
+                         ids=lambda path: path.stem)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} produced no output"
+
+
+def test_expected_examples_present():
+    names = {script.stem for script in EXAMPLE_SCRIPTS}
+    assert {"quickstart", "arbitrage", "auction_watch",
+            "feed_monitor"} <= names
+
+
+def test_examples_do_not_leak_sys_path():
+    before = list(sys.path)
+    for script in EXAMPLE_SCRIPTS:
+        runpy.run_path(str(script), run_name="not_main")
+    assert sys.path == before

@@ -1,0 +1,125 @@
+"""Tests for the conflict-graph construction."""
+
+import pytest
+
+from repro.core import (
+    BudgetVector,
+    ExecutionInterval,
+    Profile,
+    ProfileSet,
+    TInterval,
+)
+from repro.offline import (
+    demand_map,
+    overlap_graph,
+    self_infeasible,
+    unit_conflict_graph,
+)
+
+
+def _unit_profiles(*etas: list[tuple[int, int]]) -> ProfileSet:
+    """Each eta spec is a list of (resource, chronon) unit EIs."""
+    return ProfileSet([Profile([
+        TInterval([ExecutionInterval(r, c, c) for r, c in eta])
+        for eta in etas
+    ])])
+
+
+class TestDemandMap:
+    def test_merges_same_resource_same_chronon(self):
+        eta = TInterval([ExecutionInterval(0, 3, 3),
+                         ExecutionInterval(0, 3, 3),
+                         ExecutionInterval(1, 3, 3)])
+        assert demand_map(eta) == {3: {0, 1}}
+
+    def test_multiple_chronons(self):
+        eta = TInterval([ExecutionInterval(0, 1, 1),
+                         ExecutionInterval(1, 5, 5)])
+        assert demand_map(eta) == {1: {0}, 5: {1}}
+
+
+class TestSelfInfeasible:
+    def test_needs_more_than_budget(self):
+        eta = TInterval([ExecutionInterval(0, 3, 3),
+                         ExecutionInterval(1, 3, 3)])
+        assert self_infeasible(eta, BudgetVector(1))
+        assert not self_infeasible(eta, BudgetVector(2))
+
+    def test_non_unit_never_flagged(self):
+        eta = TInterval([ExecutionInterval(0, 3, 4),
+                         ExecutionInterval(1, 3, 4)])
+        assert not self_infeasible(eta, BudgetVector(1))
+
+
+class TestUnitConflictGraph:
+    def test_requires_unit_width(self):
+        profiles = ProfileSet([Profile([
+            TInterval([ExecutionInterval(0, 1, 3)])])])
+        with pytest.raises(ValueError, match="P\\^\\[1\\]"):
+            unit_conflict_graph(profiles, BudgetVector(1))
+
+    def test_same_chronon_different_resources_conflict(self):
+        profiles = _unit_profiles([(0, 3)], [(1, 3)])
+        graph = unit_conflict_graph(profiles, BudgetVector(1))
+        assert graph.has_edge((0, 0), (0, 1))
+
+    def test_same_chronon_same_resource_no_conflict(self):
+        profiles = _unit_profiles([(0, 3)], [(0, 3)])
+        graph = unit_conflict_graph(profiles, BudgetVector(1))
+        assert not graph.has_edge((0, 0), (0, 1))
+
+    def test_different_chronons_no_conflict(self):
+        profiles = _unit_profiles([(0, 3)], [(1, 5)])
+        graph = unit_conflict_graph(profiles, BudgetVector(1))
+        assert graph.number_of_edges() == 0
+
+    def test_budget_two_relaxes_conflict(self):
+        profiles = _unit_profiles([(0, 3)], [(1, 3)])
+        graph = unit_conflict_graph(profiles, BudgetVector(2))
+        assert graph.number_of_edges() == 0
+
+    def test_budget_two_three_way_conflict(self):
+        profiles = _unit_profiles([(0, 3), (1, 3)], [(2, 3)])
+        graph = unit_conflict_graph(profiles, BudgetVector(2))
+        # Together they need 3 resources at chronon 3 > budget 2.
+        assert graph.has_edge((0, 0), (0, 1))
+
+    def test_self_infeasible_excluded(self):
+        profiles = _unit_profiles([(0, 3), (1, 3)], [(2, 5)])
+        graph = unit_conflict_graph(profiles, BudgetVector(1))
+        assert (0, 0) not in graph.nodes
+        assert (0, 1) in graph.nodes
+
+
+class TestOverlapGraph:
+    def test_time_overlap_creates_edge(self):
+        profiles = ProfileSet([Profile([
+            TInterval([ExecutionInterval(0, 1, 5)]),
+            TInterval([ExecutionInterval(1, 4, 9)]),
+        ])])
+        graph = overlap_graph(profiles)
+        assert graph.has_edge((0, 0), (0, 1))
+
+    def test_disjoint_windows_no_edge(self):
+        profiles = ProfileSet([Profile([
+            TInterval([ExecutionInterval(0, 1, 3)]),
+            TInterval([ExecutionInterval(1, 5, 9)]),
+        ])])
+        graph = overlap_graph(profiles)
+        assert not graph.has_edge((0, 0), (0, 1))
+
+    def test_span_overlap_but_ei_disjoint_no_edge(self):
+        # Spans overlap ([1,9] vs [4,5]) but actual EI windows don't.
+        profiles = ProfileSet([Profile([
+            TInterval([ExecutionInterval(0, 1, 2),
+                       ExecutionInterval(1, 8, 9)]),
+            TInterval([ExecutionInterval(2, 4, 5)]),
+        ])])
+        graph = overlap_graph(profiles)
+        assert not graph.has_edge((0, 0), (0, 1))
+
+    def test_nodes_carry_etas(self):
+        profiles = ProfileSet([Profile([
+            TInterval([ExecutionInterval(0, 1, 2)])])])
+        graph = overlap_graph(profiles)
+        assert graph.nodes[(0, 0)]["eta"].size == 1

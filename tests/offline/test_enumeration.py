@@ -1,0 +1,116 @@
+"""Tests for the exact enumeration solver (Lemma 1)."""
+
+import pytest
+
+from repro.core import (
+    BudgetVector,
+    Epoch,
+    ExecutionInterval,
+    Profile,
+    ProfileSet,
+    SolverCapacityError,
+    TInterval,
+)
+from repro.offline import EnumerationSolver
+
+
+def _profiles(*profiles: list[list[tuple[int, int, int]]]) -> ProfileSet:
+    return ProfileSet([
+        Profile([TInterval([ExecutionInterval(r, s, f)
+                            for r, s, f in eta]) for eta in etas])
+        for etas in profiles
+    ])
+
+
+class TestOptimality:
+    def test_trivial_instance(self):
+        profiles = _profiles([[(0, 1, 3)]])
+        result = EnumerationSolver().solve(profiles, Epoch(5),
+                                           BudgetVector(1))
+        assert result.report.captured == 1
+
+    def test_forced_choice(self):
+        # Two unit t-intervals at the same chronon, different resources,
+        # budget 1: optimum is exactly 1.
+        profiles = _profiles([[(0, 2, 2)]], [[(1, 2, 2)]])
+        result = EnumerationSolver().solve(profiles, Epoch(5),
+                                           BudgetVector(1))
+        assert result.report.captured == 1
+
+    def test_spread_avoids_conflict(self):
+        # Overlapping windows allow serving both with clever placement.
+        profiles = _profiles([[(0, 1, 2)]], [[(1, 2, 3)]])
+        result = EnumerationSolver().solve(profiles, Epoch(5),
+                                           BudgetVector(1))
+        assert result.report.captured == 2
+
+    def test_multi_ei_all_or_nothing(self):
+        # One 2-EI t-interval conflicting with two singletons; capturing
+        # the two singletons beats the single complex t-interval.
+        profiles = _profiles(
+            [[(0, 1, 1), (1, 3, 3)]],
+            [[(2, 1, 1)]],
+            [[(3, 3, 3)]],
+        )
+        result = EnumerationSolver().solve(profiles, Epoch(5),
+                                           BudgetVector(1))
+        assert result.report.captured == 2
+
+    def test_shared_probe_counts_for_all(self):
+        # Same resource, same chronon, three profiles: one probe, 3 wins.
+        profiles = _profiles([[(0, 2, 2)]], [[(0, 2, 2)]], [[(0, 2, 2)]])
+        result = EnumerationSolver().solve(profiles, Epoch(3),
+                                           BudgetVector(1))
+        assert result.report.captured == 3
+        assert result.probes_used <= 2
+
+    def test_schedule_is_feasible_and_consistent(self):
+        profiles = _profiles(
+            [[(0, 1, 3), (1, 2, 4)], [(0, 5, 6)]],
+            [[(1, 1, 2)], [(2, 3, 5)]],
+        )
+        epoch = Epoch(8)
+        budget = BudgetVector(1)
+        result = EnumerationSolver().solve(profiles, epoch, budget)
+        assert result.schedule.respects_budget(budget, epoch)
+        # The reconstructed schedule must achieve the DFS optimum.
+        assert result.report.captured == result.extras["optimal_value"]
+
+
+class TestCapacityGuards:
+    def test_too_many_eis_rejected(self):
+        profiles = _profiles(*[[[(i % 3, 1, 2)]] for i in range(64)])
+        with pytest.raises(SolverCapacityError, match="63"):
+            EnumerationSolver().solve(profiles, Epoch(5), BudgetVector(1))
+
+    def test_node_limit_enforced(self):
+        profiles = _profiles(
+            *[[[(i, 1, 10)]] for i in range(10)]
+        )
+        with pytest.raises(SolverCapacityError, match="nodes"):
+            EnumerationSolver(node_limit=3).solve(
+                profiles, Epoch(10), BudgetVector(2))
+
+    def test_invalid_node_limit(self):
+        with pytest.raises(ValueError):
+            EnumerationSolver(node_limit=0)
+
+
+class TestBudgetVariants:
+    def test_higher_budget_never_worse(self):
+        profiles = _profiles(
+            [[(0, 1, 2)], [(1, 1, 2)]],
+            [[(2, 1, 2)], [(3, 2, 3)]],
+        )
+        low = EnumerationSolver().solve(profiles, Epoch(4),
+                                        BudgetVector(1))
+        high = EnumerationSolver().solve(profiles, Epoch(4),
+                                         BudgetVector(2))
+        assert high.report.captured >= low.report.captured
+
+    def test_per_chronon_override(self):
+        # Budget only at chronon 2 (burst of 2 probes).
+        profiles = _profiles([[(0, 2, 2)]], [[(1, 2, 2)]])
+        budget = BudgetVector(0, overrides={2: 2})
+        result = EnumerationSolver().solve(profiles, Epoch(3), budget)
+        assert result.report.captured == 2

@@ -1,0 +1,79 @@
+"""Tests for the greedy offline baseline."""
+
+import pytest
+
+from repro.core import (
+    BudgetVector,
+    Epoch,
+    ExecutionInterval,
+    Profile,
+    ProfileSet,
+    TInterval,
+)
+from repro.offline import GreedyOfflineSolver, MILPSolver
+
+
+def _profiles() -> ProfileSet:
+    return ProfileSet([
+        Profile([
+            TInterval([ExecutionInterval(0, 1, 3)]),
+            TInterval([ExecutionInterval(1, 2, 4),
+                       ExecutionInterval(2, 3, 6)]),
+        ]),
+        Profile([TInterval([ExecutionInterval(0, 5, 8)])]),
+    ])
+
+
+class TestGreedySolver:
+    def test_schedule_feasible(self):
+        epoch = Epoch(10)
+        budget = BudgetVector(1)
+        result = GreedyOfflineSolver().solve(_profiles(), epoch, budget)
+        assert result.schedule.respects_budget(budget, epoch)
+
+    def test_accepted_all_captured(self):
+        epoch = Epoch(10)
+        result = GreedyOfflineSolver().solve(_profiles(), epoch,
+                                             BudgetVector(1))
+        captured = sum(1 for eta in _profiles().tintervals()
+                       if result.schedule.captures_tinterval(eta))
+        assert captured >= result.report.captured
+
+    def test_never_beats_optimum(self):
+        epoch = Epoch(10)
+        budget = BudgetVector(1)
+        profiles = _profiles()
+        greedy = GreedyOfflineSolver().solve(profiles, epoch, budget)
+        optimum = MILPSolver().solve(profiles, epoch, budget)
+        assert greedy.report.captured <= optimum.report.captured
+
+    def test_prefers_small_tintervals(self):
+        # One fat t-interval conflicts with two singletons; greedy takes
+        # the singletons first.
+        profiles = ProfileSet([
+            Profile([TInterval([ExecutionInterval(0, 1, 1),
+                                ExecutionInterval(1, 2, 2)])]),
+            Profile([TInterval([ExecutionInterval(2, 1, 1)])]),
+            Profile([TInterval([ExecutionInterval(3, 2, 2)])]),
+        ])
+        result = GreedyOfflineSolver().solve(profiles, Epoch(5),
+                                             BudgetVector(1))
+        assert result.report.captured == 2
+        assert result.report.per_rank[1] == (2, 2)
+
+    def test_empty_profiles(self):
+        result = GreedyOfflineSolver().solve(ProfileSet(), Epoch(5),
+                                             BudgetVector(1))
+        assert result.report.total == 0
+        assert result.gc == 1.0
+
+    def test_per_profile_breakdown(self):
+        result = GreedyOfflineSolver().solve(_profiles(), Epoch(10),
+                                             BudgetVector(1))
+        assert sum(c for c, _t in result.report.per_profile.values()) \
+            == result.report.captured
+
+    def test_free_rider_gc_reported(self):
+        result = GreedyOfflineSolver().solve(_profiles(), Epoch(10),
+                                             BudgetVector(1))
+        assert result.extras["gc_with_free_riders"] >= result.gc

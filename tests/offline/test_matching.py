@@ -1,0 +1,99 @@
+"""Tests for the incremental probe-assignment matcher."""
+
+from repro.core import BudgetVector, Epoch, ExecutionInterval, TInterval
+from repro.offline import ProbeAssigner
+
+
+def _eta(*specs: tuple[int, int, int]) -> TInterval:
+    return TInterval([ExecutionInterval(r, s, f) for r, s, f in specs])
+
+
+class TestTryAdd:
+    def test_single_ei(self):
+        assigner = ProbeAssigner(Epoch(10), BudgetVector(1))
+        assert assigner.try_add(_eta((0, 2, 5)))
+        assert assigner.assigned_count == 1
+
+    def test_conflicting_units_rejected(self):
+        assigner = ProbeAssigner(Epoch(10), BudgetVector(1))
+        assert assigner.try_add(_eta((0, 3, 3)))
+        assert not assigner.try_add(_eta((1, 3, 3)))
+
+    def test_budget_two_allows_two_at_same_chronon(self):
+        assigner = ProbeAssigner(Epoch(10), BudgetVector(2))
+        assert assigner.try_add(_eta((0, 3, 3)))
+        assert assigner.try_add(_eta((1, 3, 3)))
+
+    def test_augmenting_path_rearranges(self):
+        # A wants [1,2], B wants [2,2]; adding B must push A to 1.
+        assigner = ProbeAssigner(Epoch(5), BudgetVector(1))
+        assert assigner.try_add(_eta((0, 1, 2)))
+        assert assigner.try_add(_eta((1, 2, 2)))
+        schedule = assigner.schedule()
+        assert schedule.probe_chronons(0) == [1]
+        assert schedule.probe_chronons(1) == [2]
+
+    def test_all_or_nothing_rollback(self):
+        assigner = ProbeAssigner(Epoch(5), BudgetVector(1))
+        assert assigner.try_add(_eta((0, 1, 1)))
+        # eta needs chronon 1 (taken, no alternative) and chronon 3.
+        assert not assigner.try_add(_eta((1, 1, 1), (2, 3, 3)))
+        # The failed add must not leave chronon 3 occupied.
+        assert assigner.try_add(_eta((3, 3, 3)))
+
+    def test_identical_eis_share_slot(self):
+        assigner = ProbeAssigner(Epoch(5), BudgetVector(1))
+        assert assigner.try_add(_eta((0, 2, 2)))
+        # An identical unit EI on the same resource rides for free.
+        assert assigner.try_add(_eta((0, 2, 2)))
+        assert assigner.assigned_count == 1
+
+    def test_long_chain_augmentation(self):
+        # n t-intervals each wanting [1, i] force a full chain reshuffle.
+        assigner = ProbeAssigner(Epoch(50), BudgetVector(1))
+        for i in range(1, 41):
+            assert assigner.try_add(_eta((i, 1, i)))
+        assert assigner.assigned_count == 40
+
+
+class TestRemove:
+    def test_remove_frees_slot(self):
+        assigner = ProbeAssigner(Epoch(5), BudgetVector(1))
+        eta = _eta((0, 3, 3))
+        assert assigner.try_add(eta)
+        assigner.remove(eta)
+        assert assigner.try_add(_eta((1, 3, 3)))
+
+    def test_refcounted_shared_eis(self):
+        assigner = ProbeAssigner(Epoch(5), BudgetVector(1))
+        first = _eta((0, 2, 2))
+        second = _eta((0, 2, 2))
+        assert assigner.try_add(first)
+        assert assigner.try_add(second)
+        assigner.remove(first)
+        # Still held by the second t-interval.
+        assert not assigner.try_add(_eta((1, 2, 2)))
+        assigner.remove(second)
+        assert assigner.try_add(_eta((1, 2, 2)))
+
+    def test_remove_unknown_is_noop(self):
+        assigner = ProbeAssigner(Epoch(5), BudgetVector(1))
+        assigner.remove(_eta((0, 1, 1)))
+        assert assigner.assigned_count == 0
+
+
+class TestSchedule:
+    def test_schedule_matches_assignments(self):
+        epoch = Epoch(10)
+        budget = BudgetVector(1)
+        assigner = ProbeAssigner(epoch, budget)
+        assert assigner.try_add(_eta((0, 1, 3), (1, 1, 3)))
+        schedule = assigner.schedule()
+        assert schedule.respects_budget(budget, epoch)
+        assert schedule.captures_tinterval(_eta((0, 1, 3), (1, 1, 3)))
+
+    def test_windows_clipped_to_epoch(self):
+        assigner = ProbeAssigner(Epoch(5), BudgetVector(1))
+        assert assigner.try_add(_eta((0, 4, 20)))
+        chronon = assigner.schedule().probe_chronons(0)[0]
+        assert 4 <= chronon <= 5

@@ -1,0 +1,138 @@
+"""Tests for the MILP exact solver, including agreement with enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BudgetVector,
+    Epoch,
+    ExecutionInterval,
+    Profile,
+    ProfileSet,
+    SolverCapacityError,
+    TInterval,
+)
+from repro.offline import EnumerationSolver, MILPSolver
+
+
+def _random_instance(seed: int, num_resources: int = 4,
+                     num_profiles: int = 3, horizon: int = 10
+                     ) -> tuple[ProfileSet, Epoch]:
+    rng = np.random.default_rng(seed)
+    profiles = []
+    for _ in range(num_profiles):
+        etas = []
+        for _ in range(int(rng.integers(1, 4))):
+            eis = []
+            for _ in range(int(rng.integers(1, 3))):
+                start = int(rng.integers(1, horizon))
+                finish = min(horizon, start + int(rng.integers(0, 3)))
+                eis.append(ExecutionInterval(
+                    int(rng.integers(0, num_resources)), start, finish))
+            etas.append(TInterval(eis))
+        profiles.append(Profile(etas))
+    return ProfileSet(profiles), Epoch(horizon)
+
+
+class TestAgreementWithEnumeration:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_optimum_budget_one(self, seed):
+        profiles, epoch = _random_instance(seed)
+        budget = BudgetVector(1)
+        enum_result = EnumerationSolver().solve(profiles, epoch, budget)
+        milp_result = MILPSolver().solve(profiles, epoch, budget)
+        assert milp_result.report.captured == enum_result.report.captured
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_same_optimum_budget_two(self, seed):
+        profiles, epoch = _random_instance(seed + 50)
+        budget = BudgetVector(2)
+        enum_result = EnumerationSolver().solve(profiles, epoch, budget)
+        milp_result = MILPSolver().solve(profiles, epoch, budget)
+        assert milp_result.report.captured == enum_result.report.captured
+
+
+class TestSolverBehavior:
+    def test_empty_profile_set(self):
+        result = MILPSolver().solve(ProfileSet(), Epoch(5),
+                                    BudgetVector(1))
+        assert result.report.total == 0
+        assert result.gc == 1.0
+
+    def test_schedule_feasible(self):
+        profiles, epoch = _random_instance(7)
+        budget = BudgetVector(1)
+        result = MILPSolver().solve(profiles, epoch, budget)
+        assert result.schedule.respects_budget(budget, epoch)
+
+    def test_proven_optimal_flag(self):
+        profiles, epoch = _random_instance(8)
+        result = MILPSolver().solve(profiles, epoch, BudgetVector(1))
+        assert result.extras["proven_optimal"] == 1.0
+
+    def test_ei_outside_epoch_is_uncapturable(self):
+        profiles = ProfileSet([Profile([
+            TInterval([ExecutionInterval(0, 2, 3)]),
+            TInterval([ExecutionInterval(0, 50, 60)]),
+        ])])
+        result = MILPSolver().solve(profiles, Epoch(10), BudgetVector(1))
+        assert result.report.captured == 1
+
+    def test_variable_cap_enforced(self):
+        profiles, epoch = _random_instance(9)
+        with pytest.raises(SolverCapacityError, match="variables"):
+            MILPSolver(max_variables=2).solve(profiles, epoch,
+                                              BudgetVector(1))
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            MILPSolver(max_variables=0)
+
+    def test_objective_matches_report(self):
+        profiles, epoch = _random_instance(10)
+        result = MILPSolver().solve(profiles, epoch, BudgetVector(1))
+        assert result.extras["milp_objective"] == pytest.approx(
+            result.report.captured, abs=1e-6)
+
+    def test_zero_budget(self):
+        profiles, epoch = _random_instance(11)
+        result = MILPSolver().solve(profiles, epoch, BudgetVector(0))
+        assert result.report.captured == 0
+
+    def test_time_limit_option_accepted(self):
+        profiles, epoch = _random_instance(12)
+        result = MILPSolver(time_limit=30.0).solve(profiles, epoch,
+                                                   BudgetVector(1))
+        # Small instance: the limit is not binding and the solve is
+        # still proven optimal.
+        assert result.extras["proven_optimal"] == 1.0
+
+
+class TestUpperBound:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bound_dominates_optimum(self, seed):
+        profiles, epoch = _random_instance(seed + 20)
+        budget = BudgetVector(1)
+        solver = MILPSolver()
+        bound = solver.upper_bound(profiles, epoch, budget)
+        optimum = solver.solve(profiles, epoch, budget)
+        assert bound >= optimum.report.captured - 1e-6
+
+    def test_bound_at_most_total(self):
+        profiles, epoch = _random_instance(30)
+        bound = MILPSolver().upper_bound(profiles, epoch,
+                                         BudgetVector(5))
+        assert bound <= profiles.total_tintervals + 1e-6
+
+    def test_empty_set_bound_zero(self):
+        assert MILPSolver().upper_bound(ProfileSet(), Epoch(5),
+                                        BudgetVector(1)) == 0.0
+
+    def test_relaxation_flag_resets(self):
+        profiles, epoch = _random_instance(31)
+        solver = MILPSolver()
+        solver.upper_bound(profiles, epoch, BudgetVector(1))
+        # A subsequent exact solve must be integral again.
+        result = solver.solve(profiles, epoch, BudgetVector(1))
+        assert result.extras["milp_objective"] == pytest.approx(
+            round(result.extras["milp_objective"]), abs=1e-6)

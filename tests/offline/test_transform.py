@@ -1,0 +1,87 @@
+"""Tests for the P -> P^[1] unit-width expansion (Proposition 2)."""
+
+import pytest
+
+from repro.core import (
+    Epoch,
+    ExecutionInterval,
+    Profile,
+    ProfileSet,
+    Schedule,
+    SolverCapacityError,
+    TInterval,
+)
+from repro.offline import expand_to_unit_width
+
+
+def _profiles() -> ProfileSet:
+    return ProfileSet([Profile([
+        TInterval([ExecutionInterval(0, 1, 2),
+                   ExecutionInterval(1, 4, 5)]),
+        TInterval([ExecutionInterval(2, 3, 3)]),
+    ])])
+
+
+class TestExpansion:
+    def test_alternative_count_is_product_of_widths(self):
+        expansion = expand_to_unit_width(_profiles())
+        # 2*2 alternatives for the first eta + 1 for the second.
+        assert expansion.expanded.total_tintervals == 5
+
+    def test_expansion_is_unit_width(self):
+        expansion = expand_to_unit_width(_profiles())
+        assert expansion.expanded.is_unit_width
+
+    def test_alternatives_map_back(self):
+        expansion = expand_to_unit_width(_profiles())
+        owners = set(expansion.alternative_of.values())
+        assert owners == {(0, 0), (0, 1)}
+        assert len(expansion.alternatives_of((0, 0))) == 4
+        assert len(expansion.alternatives_of((0, 1))) == 1
+
+    def test_alternatives_cover_all_chronon_tuples(self):
+        expansion = expand_to_unit_width(_profiles())
+        tuples = set()
+        for key in expansion.alternatives_of((0, 0)):
+            eta = expansion.expanded.tinterval(*key)
+            tuples.add(tuple(sorted((ei.resource_id, ei.start)
+                                    for ei in eta)))
+        assert tuples == {
+            ((0, 1), (1, 4)), ((0, 1), (1, 5)),
+            ((0, 2), (1, 4)), ((0, 2), (1, 5)),
+        }
+
+    def test_rank_preserved(self):
+        expansion = expand_to_unit_width(_profiles())
+        assert expansion.expanded.rank == 2
+
+    def test_cap_on_total(self):
+        with pytest.raises(SolverCapacityError):
+            expand_to_unit_width(_profiles(), max_alternatives=3)
+
+    def test_cap_on_single_tinterval(self):
+        wide = ProfileSet([Profile([
+            TInterval([ExecutionInterval(0, 1, 100),
+                       ExecutionInterval(1, 1, 100)])])])
+        with pytest.raises(SolverCapacityError):
+            expand_to_unit_width(wide, max_alternatives=1000)
+
+
+class TestCapturedOriginals:
+    def test_capturing_one_alternative_captures_original(self):
+        expansion = expand_to_unit_width(_profiles())
+        schedule = Schedule([(0, 2), (1, 4)])
+        assert (0, 0) in expansion.captured_originals(schedule)
+
+    def test_partial_tuple_does_not_capture(self):
+        expansion = expand_to_unit_width(_profiles())
+        schedule = Schedule([(0, 2)])
+        assert (0, 0) not in expansion.captured_originals(schedule)
+
+    def test_original_evaluation_consistent_with_windows(self):
+        # A schedule capturing the original windows always corresponds
+        # to some alternative tuple, and vice versa.
+        expansion = expand_to_unit_width(_profiles())
+        schedule = Schedule([(0, 1), (1, 5), (2, 3)])
+        captured = expansion.captured_originals(schedule)
+        assert captured == {(0, 0), (0, 1)}

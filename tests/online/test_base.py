@@ -1,0 +1,167 @@
+"""Tests for the online policy framework: states, selection, preemption."""
+
+import pytest
+
+from repro.core import ExecutionInterval, TInterval
+from repro.online import (
+    Candidate,
+    SEDFPolicy,
+    TIntervalState,
+    apply_probes,
+    select_probes,
+)
+
+
+def _state(*specs: tuple[int, int, int], rank: int | None = None
+           ) -> TIntervalState:
+    eta = TInterval([ExecutionInterval(r, s, f) for r, s, f in specs])
+    return TIntervalState(eta, profile_rank=rank or len(specs))
+
+
+class TestTIntervalState:
+    def test_initial_state(self):
+        state = _state((0, 1, 5), (1, 3, 8))
+        assert state.captured_count == 0
+        assert state.residual == 2
+        assert not state.is_complete
+        assert not state.committed
+
+    def test_mark_captured(self):
+        state = _state((0, 1, 5), (1, 3, 8))
+        state.mark_captured(0)
+        assert state.captured_count == 1
+        assert state.residual == 1
+        assert not state.is_complete
+        state.mark_captured(1)
+        assert state.is_complete
+
+    def test_is_expired_when_uncaptured_deadline_passes(self):
+        state = _state((0, 1, 5), (1, 3, 8))
+        assert not state.is_expired(5)
+        assert state.is_expired(6)
+
+    def test_not_expired_if_passed_ei_was_captured(self):
+        state = _state((0, 1, 5), (1, 3, 8))
+        state.mark_captured(0)
+        assert not state.is_expired(6)
+
+    def test_probeable_eis_active_and_uncaptured(self):
+        state = _state((0, 1, 5), (1, 3, 8))
+        assert [ei.resource_id for ei in state.probeable_eis(2)] == [0]
+        assert [ei.resource_id for ei in state.probeable_eis(4)] == [0, 1]
+        state.mark_captured(0)
+        assert [ei.resource_id for ei in state.probeable_eis(4)] == [1]
+
+    def test_uncaptured_eis(self):
+        state = _state((0, 1, 5), (1, 3, 8))
+        state.mark_captured(1)
+        assert [ei.resource_id for ei in state.uncaptured_eis()] == [0]
+
+    def test_key(self):
+        eta = TInterval([ExecutionInterval(0, 1, 2)],
+                        tinterval_id=3, profile_id=7)
+        assert TIntervalState(eta, 1).key == (7, 3)
+
+
+class TestSelectProbes:
+    def test_budget_zero_selects_nothing(self):
+        state = _state((0, 1, 5))
+        candidates = [Candidate(state, state.eta[0])]
+        assert select_probes(SEDFPolicy(), candidates, 1, 0, True) == []
+
+    def test_empty_candidates(self):
+        assert select_probes(SEDFPolicy(), [], 1, 3, True) == []
+
+    def test_selects_earliest_deadline(self):
+        urgent = _state((0, 1, 3))
+        relaxed = _state((1, 1, 9))
+        candidates = [Candidate(relaxed, relaxed.eta[0]),
+                      Candidate(urgent, urgent.eta[0])]
+        decisions = select_probes(SEDFPolicy(), candidates, 1, 1, True)
+        assert [d.resource_id for d in decisions] == [0]
+        assert decisions[0].selected.state is urgent
+
+    def test_budget_limits_selection(self):
+        states = [_state((i, 1, 3 + i)) for i in range(5)]
+        candidates = [Candidate(s, s.eta[0]) for s in states]
+        decisions = select_probes(SEDFPolicy(), candidates, 1, 2, True)
+        assert [d.resource_id for d in decisions] == [0, 1]
+
+    def test_same_resource_consumes_one_probe(self):
+        a = _state((0, 1, 3))
+        b = _state((0, 1, 4))
+        c = _state((1, 1, 9))
+        candidates = [Candidate(s, s.eta[0]) for s in (a, b, c)]
+        decisions = select_probes(SEDFPolicy(), candidates, 1, 2, True)
+        assert [d.resource_id for d in decisions] == [0, 1]
+
+    def test_coverage_tie_break(self):
+        # Equal deadlines: resource 1 serves two candidates, resource 0
+        # serves one -> resource 1 wins despite the higher id.
+        single = _state((0, 1, 5))
+        double_a = _state((1, 1, 5))
+        double_b = _state((1, 2, 5))
+        candidates = [Candidate(single, single.eta[0]),
+                      Candidate(double_a, double_a.eta[0]),
+                      Candidate(double_b, double_b.eta[0])]
+        decisions = select_probes(SEDFPolicy(), candidates, 2, 1, True)
+        assert [d.resource_id for d in decisions] == [1]
+
+
+class TestNonPreemptiveSelection:
+    def test_committed_first(self):
+        committed = _state((0, 1, 9))
+        committed.committed = True
+        urgent_fresh = _state((1, 1, 2))
+        candidates = [Candidate(urgent_fresh, urgent_fresh.eta[0]),
+                      Candidate(committed, committed.eta[0])]
+        decisions = select_probes(SEDFPolicy(), candidates, 1, 1, False)
+        # Despite the fresher deadline, the committed t-interval wins.
+        assert [d.resource_id for d in decisions] == [0]
+
+    def test_leftover_budget_goes_to_fresh(self):
+        committed = _state((0, 1, 9))
+        committed.committed = True
+        fresh = _state((1, 1, 2))
+        candidates = [Candidate(fresh, fresh.eta[0]),
+                      Candidate(committed, committed.eta[0])]
+        decisions = select_probes(SEDFPolicy(), candidates, 1, 2, False)
+        assert sorted(d.resource_id for d in decisions) == [0, 1]
+
+    def test_preemptive_ignores_commitment(self):
+        committed = _state((0, 1, 9))
+        committed.committed = True
+        fresh = _state((1, 1, 2))
+        candidates = [Candidate(fresh, fresh.eta[0]),
+                      Candidate(committed, committed.eta[0])]
+        decisions = select_probes(SEDFPolicy(), candidates, 1, 1, True)
+        assert [d.resource_id for d in decisions] == [1]
+
+
+class TestApplyProbes:
+    def test_captures_all_active_eis_on_probed_resource(self):
+        a = _state((0, 1, 5))
+        b = _state((0, 3, 8), (1, 4, 9))
+        candidates = [Candidate(a, a.eta[0]), Candidate(b, b.eta[0])]
+        decisions = select_probes(SEDFPolicy(), candidates, 4, 1, True)
+        captured = apply_probes(decisions, candidates, 4)
+        assert len(captured) == 2
+        assert a.is_complete
+        assert b.captured_count == 1
+
+    def test_capture_commits_tinterval(self):
+        a = _state((0, 1, 5))
+        candidates = [Candidate(a, a.eta[0])]
+        decisions = select_probes(SEDFPolicy(), candidates, 2, 1, True)
+        apply_probes(decisions, candidates, 2)
+        assert a.committed
+
+    def test_inactive_ei_not_captured(self):
+        a = _state((0, 1, 3))
+        b = _state((0, 6, 9))
+        candidates = [Candidate(a, a.eta[0]), Candidate(b, b.eta[0])]
+        decisions = select_probes(SEDFPolicy(), [candidates[0]], 2, 1,
+                                  True)
+        apply_probes(decisions, candidates, 2)
+        assert a.is_complete
+        assert b.captured_count == 0

@@ -1,0 +1,57 @@
+"""Shared hypothesis strategies for model objects."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core import (
+    Epoch,
+    ExecutionInterval,
+    Profile,
+    ProfileSet,
+    TInterval,
+)
+
+HORIZON = 16
+NUM_RESOURCES = 4
+
+
+@st.composite
+def execution_intervals(draw, horizon: int = HORIZON,
+                        num_resources: int = NUM_RESOURCES,
+                        unit_width: bool = False) -> ExecutionInterval:
+    resource = draw(st.integers(0, num_resources - 1))
+    start = draw(st.integers(1, horizon))
+    if unit_width:
+        finish = start
+    else:
+        finish = min(horizon, start + draw(st.integers(0, 4)))
+    return ExecutionInterval(resource, start, finish)
+
+
+@st.composite
+def tintervals(draw, max_eis: int = 3,
+               unit_width: bool = False) -> TInterval:
+    eis = draw(st.lists(execution_intervals(unit_width=unit_width),
+                        min_size=1, max_size=max_eis))
+    return TInterval(eis)
+
+
+@st.composite
+def profiles(draw, max_tintervals: int = 3,
+             unit_width: bool = False) -> Profile:
+    etas = draw(st.lists(tintervals(unit_width=unit_width),
+                         min_size=1, max_size=max_tintervals))
+    return Profile(etas)
+
+
+@st.composite
+def profile_sets(draw, max_profiles: int = 3,
+                 unit_width: bool = False) -> ProfileSet:
+    members = draw(st.lists(profiles(unit_width=unit_width),
+                            min_size=1, max_size=max_profiles))
+    return ProfileSet(members)
+
+
+def epoch() -> Epoch:
+    return Epoch(HORIZON)

@@ -1,0 +1,136 @@
+"""Property-based tests on the core model invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BudgetVector,
+    Epoch,
+    ExecutionInterval,
+    Schedule,
+    evaluate_schedule,
+    gained_completeness,
+)
+
+from tests.properties.strategies import (
+    HORIZON,
+    NUM_RESOURCES,
+    epoch,
+    profile_sets,
+    tintervals,
+)
+
+probe_lists = st.lists(
+    st.tuples(st.integers(0, NUM_RESOURCES - 1),
+              st.integers(1, HORIZON)),
+    max_size=30,
+)
+
+
+class TestScheduleProperties:
+    @given(probes=probe_lists)
+    def test_probe_count_bounded_by_distinct_pairs(self, probes):
+        schedule = Schedule(probes)
+        assert len(schedule) == len(set(probes))
+
+    @given(probes=probe_lists)
+    def test_probes_round_trip(self, probes):
+        schedule = Schedule(probes)
+        assert set(schedule.probes()) == set(probes)
+
+    @given(probes=probe_lists, extra=st.tuples(
+        st.integers(0, NUM_RESOURCES - 1), st.integers(1, HORIZON)))
+    def test_adding_probe_is_idempotent(self, probes, extra):
+        schedule = Schedule(probes)
+        schedule.add_probe(*extra)
+        before = len(schedule)
+        schedule.add_probe(*extra)
+        assert len(schedule) == before
+
+    @given(probes=probe_lists, eta=tintervals())
+    def test_capture_requires_probe_in_every_window(self, probes, eta):
+        schedule = Schedule(probes)
+        captured = schedule.captures_tinterval(eta)
+        manual = all(
+            any(probe_resource == ei.resource_id
+                and ei.start <= probe_chronon <= ei.finish
+                for probe_resource, probe_chronon in probes)
+            for ei in eta
+        )
+        assert captured == manual
+
+
+class TestCompletenessProperties:
+    @given(profiles=profile_sets(), probes=probe_lists)
+    @settings(max_examples=50)
+    def test_gc_in_unit_interval(self, profiles, probes):
+        gc = gained_completeness(profiles, Schedule(probes))
+        assert 0.0 <= gc <= 1.0
+
+    @given(profiles=profile_sets(), probes=probe_lists, extra=st.tuples(
+        st.integers(0, NUM_RESOURCES - 1), st.integers(1, HORIZON)))
+    @settings(max_examples=50)
+    def test_gc_monotone_in_probes(self, profiles, probes, extra):
+        base = gained_completeness(profiles, Schedule(probes))
+        bigger = gained_completeness(profiles,
+                                     Schedule(probes + [extra]))
+        assert bigger >= base
+
+    @given(profiles=profile_sets(), probes=probe_lists)
+    @settings(max_examples=50)
+    def test_report_counts_consistent(self, profiles, probes):
+        report = evaluate_schedule(profiles, Schedule(probes))
+        assert report.total == profiles.total_tintervals
+        assert 0 <= report.captured <= report.total
+        assert sum(c for c, _t in report.per_profile.values()) == \
+            report.captured
+        assert sum(c for c, _t in report.per_rank.values()) == \
+            report.captured
+
+    @given(profiles=profile_sets())
+    @settings(max_examples=30)
+    def test_full_probing_captures_everything_in_epoch(self, profiles):
+        # Probing every resource at every chronon captures every
+        # t-interval whose windows intersect the epoch.
+        schedule = Schedule([
+            (resource, chronon)
+            for resource in range(NUM_RESOURCES)
+            for chronon in range(1, HORIZON + 1)
+        ])
+        report = evaluate_schedule(profiles, schedule)
+        assert report.captured == report.total
+
+
+class TestBudgetProperties:
+    @given(default=st.integers(0, 3),
+           overrides=st.dictionaries(st.integers(1, HORIZON),
+                                     st.integers(0, 5), max_size=4))
+    def test_max_over_is_max(self, default, overrides):
+        budget = BudgetVector(default, overrides)
+        values = [budget.at(chronon) for chronon in epoch()]
+        assert budget.max_over(epoch()) == max(values)
+
+    @given(default=st.integers(0, 3),
+           overrides=st.dictionaries(st.integers(1, HORIZON),
+                                     st.integers(0, 5), max_size=4))
+    def test_total_over_is_sum(self, default, overrides):
+        budget = BudgetVector(default, overrides)
+        values = [budget.at(chronon) for chronon in epoch()]
+        assert budget.total_over(epoch()) == sum(values)
+
+
+class TestIntervalProperties:
+    @given(eta=tintervals())
+    def test_span_contains_all_eis(self, eta):
+        for ei in eta:
+            assert eta.earliest_start <= ei.start
+            assert ei.finish <= eta.latest_finish
+
+    @given(first=st.integers(1, HORIZON), width=st.integers(0, 5))
+    def test_width_matches_chronons(self, first, width):
+        ei = ExecutionInterval(0, first, first + width)
+        assert ei.width == len(list(ei.chronons()))
+
+    @given(eta=tintervals())
+    def test_unit_width_iff_all_unit(self, eta):
+        assert eta.is_unit_width == all(ei.is_unit for ei in eta)

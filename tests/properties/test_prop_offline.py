@@ -1,0 +1,125 @@
+"""Property-based tests on the offline solvers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BudgetVector, SolverCapacityError
+from repro.offline import (
+    EnumerationSolver,
+    LocalRatioApproximation,
+    MILPSolver,
+    ProbeAssigner,
+    expand_to_unit_width,
+)
+
+from tests.properties.strategies import epoch, profile_sets, tintervals
+
+
+class TestExactSolverAgreement:
+    @given(profiles=profile_sets(max_profiles=2), budget=st.integers(1, 2))
+    @settings(max_examples=25, deadline=None)
+    def test_enumeration_matches_milp(self, profiles, budget):
+        budget_vector = BudgetVector(budget)
+        try:
+            enum_result = EnumerationSolver(node_limit=500_000).solve(
+                profiles, epoch(), budget_vector)
+        except SolverCapacityError:
+            return
+        milp_result = MILPSolver().solve(profiles, epoch(),
+                                         budget_vector)
+        assert enum_result.report.captured == milp_result.report.captured
+
+    @given(profiles=profile_sets(max_profiles=2))
+    @settings(max_examples=25, deadline=None)
+    def test_enumeration_schedule_achieves_its_count(self, profiles):
+        budget_vector = BudgetVector(1)
+        try:
+            result = EnumerationSolver(node_limit=500_000).solve(
+                profiles, epoch(), budget_vector)
+        except SolverCapacityError:
+            return
+        assert result.schedule.respects_budget(budget_vector, epoch())
+        # Reconstruction must realize exactly the DFS optimum.
+        assert result.report.captured == result.extras["optimal_value"]
+
+
+class TestLocalRatioProperties:
+    @given(profiles=profile_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_feasible_and_bounded(self, profiles):
+        budget_vector = BudgetVector(1)
+        approx = LocalRatioApproximation().solve(profiles, epoch(),
+                                                 budget_vector)
+        optimum = MILPSolver().solve(profiles, epoch(), budget_vector)
+        assert approx.schedule.respects_budget(budget_vector, epoch())
+        assert approx.report.captured <= optimum.report.captured
+
+    @given(profiles=profile_sets(unit_width=True))
+    @settings(max_examples=25, deadline=None)
+    def test_unit_ratio_bound(self, profiles):
+        budget_vector = BudgetVector(1)
+        rank = max(1, profiles.rank)
+        approx = LocalRatioApproximation().solve(profiles, epoch(),
+                                                 budget_vector)
+        optimum = MILPSolver().solve(profiles, epoch(), budget_vector)
+        assert approx.report.captured >= \
+            optimum.report.captured / (2 * rank + 1) - 1e-9
+
+
+class TestMatcherProperties:
+    @given(etas=st.lists(tintervals(), min_size=1, max_size=8),
+           budget=st.integers(1, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_accepted_set_always_schedulable(self, etas, budget):
+        budget_vector = BudgetVector(budget)
+        assigner = ProbeAssigner(epoch(), budget_vector)
+        accepted = [eta for eta in etas if assigner.try_add(eta)]
+        schedule = assigner.schedule()
+        assert schedule.respects_budget(budget_vector, epoch())
+        for eta in accepted:
+            assert schedule.captures_tinterval(eta)
+
+    @given(etas=st.lists(tintervals(), min_size=2, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_remove_restores_capacity(self, etas):
+        budget_vector = BudgetVector(1)
+        assigner = ProbeAssigner(epoch(), budget_vector)
+        accepted = [eta for eta in etas if assigner.try_add(eta)]
+        if not accepted:
+            return
+        victim = accepted[0]
+        assigner.remove(victim)
+        # Re-adding the removed t-interval must succeed again.
+        assert assigner.try_add(victim)
+
+
+class TestTransformProperties:
+    @given(profiles=profile_sets(max_profiles=2))
+    @settings(max_examples=20, deadline=None)
+    def test_expansion_preserves_optimum(self, profiles):
+        budget_vector = BudgetVector(1)
+        try:
+            expansion = expand_to_unit_width(profiles,
+                                             max_alternatives=3000)
+        except SolverCapacityError:
+            return
+        original_opt = MILPSolver().solve(profiles, epoch(),
+                                          budget_vector)
+        # Solving the original and mapping through the expansion's
+        # capture test must agree: captured originals under the optimal
+        # schedule == the optimum count.
+        captured = expansion.captured_originals(original_opt.schedule)
+        assert len(captured) == original_opt.report.captured
+
+    @given(profiles=profile_sets(max_profiles=2))
+    @settings(max_examples=20, deadline=None)
+    def test_expansion_unit_width_and_mapped(self, profiles):
+        try:
+            expansion = expand_to_unit_width(profiles,
+                                             max_alternatives=3000)
+        except SolverCapacityError:
+            return
+        assert expansion.expanded.is_unit_width
+        expected_keys = {(eta.profile_id, eta.tinterval_id)
+                         for eta in expansion.expanded.tintervals()}
+        assert set(expansion.alternative_of) == expected_keys

@@ -1,0 +1,78 @@
+"""Property-based agreement between the runtime proxy and the simulator.
+
+The runtime (servers + notifications) and the measurement simulator share
+the scheduling core; on any instance they must capture exactly the same
+t-intervals, and every notification must correspond to a capture.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BudgetVector, Profile, TInterval
+from repro.online import MEDFPolicy, MRSFPolicy, SEDFPolicy
+from repro.runtime import MonitoringProxy, OriginServer
+from repro.simulation import run_online
+from repro.traces import UpdateTrace
+
+from tests.properties.strategies import epoch, profile_sets
+
+POLICIES = [SEDFPolicy, MRSFPolicy, MEDFPolicy]
+
+
+def _bare_copy(profiles):
+    return [Profile([TInterval(eta.eis) for eta in profile],
+                    name=profile.name)
+            for profile in profiles]
+
+
+class TestRuntimeSimulatorAgreement:
+    @given(profiles=profile_sets(), policy_index=st.integers(0, 2),
+           budget=st.integers(1, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_same_capture_counts(self, profiles, policy_index, budget):
+        budget_vector = BudgetVector(budget)
+        sim = run_online(profiles, epoch(), budget_vector,
+                         POLICIES[policy_index]())
+
+        server = OriginServer(UpdateTrace([], epoch()))
+        proxy = MonitoringProxy(server, epoch(), budget_vector,
+                                POLICIES[policy_index]())
+        client = proxy.register_client()
+        for profile in _bare_copy(profiles):
+            proxy.register_profile(client, profile)
+        stats = proxy.run()
+
+        assert stats.completed == sim.report.captured
+        assert stats.expired == sim.expired
+        assert len(client.mailbox) == stats.completed
+
+    @given(profiles=profile_sets(), policy_index=st.integers(0, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_identical_probe_schedules(self, profiles, policy_index):
+        budget_vector = BudgetVector(1)
+        sim = run_online(profiles, epoch(), budget_vector,
+                         POLICIES[policy_index]())
+
+        server = OriginServer(UpdateTrace([], epoch()))
+        proxy = MonitoringProxy(server, epoch(), budget_vector,
+                                POLICIES[policy_index]())
+        client = proxy.register_client()
+        for profile in _bare_copy(profiles):
+            proxy.register_profile(client, profile)
+        proxy.run()
+
+        assert list(proxy.schedule.probes()) == \
+            list(sim.schedule.probes())
+
+    @given(profiles=profile_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_accounting_invariant(self, profiles):
+        server = OriginServer(UpdateTrace([], epoch()))
+        proxy = MonitoringProxy(server, epoch(), BudgetVector(1),
+                                MRSFPolicy())
+        client = proxy.register_client()
+        for profile in _bare_copy(profiles):
+            proxy.register_profile(client, profile)
+        stats = proxy.run()
+        assert stats.registered == (stats.completed + stats.expired
+                                    + stats.dropped)

@@ -1,0 +1,69 @@
+"""Tests for the Client mailbox/callback mechanics."""
+
+import pytest
+
+from repro.runtime import Client, Notification
+from repro.runtime.server import Snapshot
+
+
+def _notification(client_id: int = 0, completed_at: int = 5
+                  ) -> Notification:
+    snapshot = Snapshot(resource_id=1, probed_at=completed_at, version=2,
+                        updated_at=4, value="v2")
+    return Notification(client_id=client_id, profile_name="p",
+                        profile_id=0, tinterval_id=3,
+                        completed_at=completed_at,
+                        snapshots=(snapshot,))
+
+
+class TestClient:
+    def test_default_name(self):
+        assert Client(7).name == "client7"
+
+    def test_deliver_appends_to_mailbox(self):
+        client = Client(0)
+        client.deliver(_notification())
+        client.deliver(_notification(completed_at=9))
+        assert [n.completed_at for n in client.mailbox] == [5, 9]
+
+    def test_callback_called_synchronously(self):
+        seen = []
+        client = Client(0, callback=seen.append)
+        note = _notification()
+        client.deliver(note)
+        assert seen == [note]
+        assert client.mailbox == (note,)
+
+    def test_callback_exception_propagates(self):
+        def boom(_notification):
+            raise RuntimeError("client bug")
+
+        client = Client(0, callback=boom)
+        with pytest.raises(RuntimeError, match="client bug"):
+            client.deliver(_notification())
+        # Mailbox delivery happened before the callback blew up.
+        assert len(client.mailbox) == 1
+
+    def test_drain_empties_mailbox(self):
+        client = Client(0)
+        client.deliver(_notification())
+        drained = client.drain()
+        assert len(drained) == 1
+        assert client.mailbox == ()
+        assert client.drain() == []
+
+
+class TestNotification:
+    def test_values_in_ei_order(self):
+        first = Snapshot(0, 3, 1, 3, "a")
+        second = Snapshot(1, 5, 1, 4, "b")
+        note = Notification(client_id=0, profile_name="p", profile_id=0,
+                            tinterval_id=0, completed_at=5,
+                            snapshots=(first, second))
+        assert note.values() == ["a", "b"]
+
+    def test_snapshot_freshness(self):
+        fresh = Snapshot(0, 4, 1, 4, "x")
+        stale = Snapshot(0, 6, 1, 4, "x")
+        assert fresh.is_fresh
+        assert not stale.is_fresh

@@ -1,0 +1,100 @@
+"""Tests for multi-server federation."""
+
+import pytest
+
+from repro.core import (
+    BudgetVector,
+    Epoch,
+    ExecutionInterval,
+    ModelError,
+    Profile,
+    TInterval,
+)
+from repro.online import MRSFPolicy
+from repro.runtime import MonitoringProxy, OriginServer, ServerFleet
+from repro.traces import UpdateEvent, UpdateTrace
+
+
+@pytest.fixture
+def fleet() -> ServerFleet:
+    epoch = Epoch(20)
+    nyse = OriginServer(UpdateTrace(
+        [UpdateEvent(3, 0, "nyse:100"), UpdateEvent(8, 1, "nyse:101")],
+        epoch))
+    lse = OriginServer(UpdateTrace(
+        [UpdateEvent(4, 2, "lse:99")], epoch))
+    return ServerFleet({
+        "nyse": (nyse, [0, 1]),
+        "lse": (lse, [2]),
+    })
+
+
+class TestRouting:
+    def test_owner_lookup(self, fleet):
+        assert fleet.owner_of(0) == "nyse"
+        assert fleet.owner_of(2) == "lse"
+
+    def test_unassigned_resource_rejected(self, fleet):
+        with pytest.raises(ModelError, match="not assigned"):
+            fleet.owner_of(9)
+
+    def test_duplicate_assignment_rejected(self):
+        server = OriginServer()
+        with pytest.raises(ModelError, match="assigned to both"):
+            ServerFleet({"a": (server, [0]), "b": (OriginServer(), [0])})
+
+    def test_probe_routes_to_owner(self, fleet):
+        fleet.advance_to(10)
+        assert fleet.probe(0).value == "nyse:100"
+        assert fleet.probe(2).value == "lse:99"
+
+    def test_probe_counts_per_server(self, fleet):
+        fleet.advance_to(10)
+        fleet.probe(0)
+        fleet.probe(1)
+        fleet.probe(2)
+        assert fleet.probe_counts() == {"nyse": 2, "lse": 1}
+
+    def test_server_access(self, fleet):
+        assert fleet.server("nyse").clock == 0
+        with pytest.raises(ModelError, match="unknown server"):
+            fleet.server("tse")
+
+    def test_server_names(self, fleet):
+        assert fleet.server_names() == ["lse", "nyse"]
+
+
+class TestClock:
+    def test_advance_moves_all_members(self, fleet):
+        fleet.advance_to(7)
+        assert fleet.server("nyse").clock == 7
+        assert fleet.server("lse").clock == 7
+        assert fleet.clock == 7
+
+    def test_advance_returns_merged_events(self, fleet):
+        events = fleet.advance_to(5)
+        assert [(e.chronon, e.resource_id) for e in events] == [
+            (3, 0), (4, 2)]
+
+    def test_empty_fleet_clock(self):
+        assert ServerFleet({}).clock == 0
+
+
+class TestProxyIntegration:
+    def test_proxy_runs_against_fleet(self, fleet):
+        epoch = Epoch(20)
+        proxy = MonitoringProxy(fleet, epoch, BudgetVector(1),
+                                MRSFPolicy())
+        client = proxy.register_client("analyst")
+        # Cross-server profile: one EI per exchange.
+        profile = Profile([TInterval([ExecutionInterval(0, 3, 7),
+                                      ExecutionInterval(2, 4, 9)])],
+                          name="cross-market")
+        proxy.register_profile(client, profile)
+        stats = proxy.run()
+        assert stats.completed == 1
+        values = client.mailbox[0].values()
+        assert values == ["nyse:100", "lse:99"]
+        counts = fleet.probe_counts()
+        assert counts["nyse"] >= 1
+        assert counts["lse"] >= 1

@@ -1,0 +1,106 @@
+"""Tests for the origin server (versioned volatile state)."""
+
+import pytest
+
+from repro.core import Epoch, ModelError
+from repro.runtime import OriginServer
+from repro.traces import UpdateEvent, UpdateTrace
+
+
+@pytest.fixture
+def server() -> OriginServer:
+    trace = UpdateTrace(
+        [UpdateEvent(3, 0, "a"), UpdateEvent(7, 0, "b"),
+         UpdateEvent(5, 1, "x")],
+        Epoch(20))
+    return OriginServer(trace)
+
+
+class TestAdvance:
+    def test_initial_clock_zero(self, server):
+        assert server.clock == 0
+
+    def test_advance_applies_events(self, server):
+        applied = server.advance_to(5)
+        assert [(e.chronon, e.resource_id) for e in applied] == [
+            (3, 0), (5, 1)]
+        assert server.clock == 5
+
+    def test_advance_is_incremental(self, server):
+        server.advance_to(4)
+        applied = server.advance_to(10)
+        assert [(e.chronon, e.resource_id) for e in applied] == [
+            (5, 1), (7, 0)]
+
+    def test_backwards_rejected(self, server):
+        server.advance_to(5)
+        with pytest.raises(ModelError, match="backwards"):
+            server.advance_to(4)
+
+    def test_advance_to_same_chronon_is_noop(self, server):
+        server.advance_to(5)
+        assert server.advance_to(5) == []
+
+
+class TestProbe:
+    def test_probe_before_any_update(self, server):
+        snapshot = server.probe(0)
+        assert snapshot.version == 0
+        assert snapshot.updated_at == 0
+        assert snapshot.value == ""
+
+    def test_probe_sees_latest_value_only(self, server):
+        server.advance_to(10)
+        snapshot = server.probe(0)
+        # "a" was overwritten by "b" — volatile data.
+        assert snapshot.value == "b"
+        assert snapshot.version == 2
+        assert snapshot.updated_at == 7
+
+    def test_probe_between_updates(self, server):
+        server.advance_to(5)
+        snapshot = server.probe(0)
+        assert snapshot.value == "a"
+        assert snapshot.version == 1
+
+    def test_probe_timestamps(self, server):
+        server.advance_to(7)
+        snapshot = server.probe(0)
+        assert snapshot.probed_at == 7
+        assert snapshot.is_fresh
+
+    def test_unknown_resource_probe(self, server):
+        server.advance_to(5)
+        snapshot = server.probe(42)
+        assert snapshot.version == 0
+
+
+class TestPublish:
+    def test_publish_future_event(self, server):
+        server.advance_to(4)
+        server.publish(UpdateEvent(6, 2, "new"))
+        server.advance_to(6)
+        assert server.probe(2).value == "new"
+
+    def test_publish_in_past_rejected(self, server):
+        server.advance_to(5)
+        with pytest.raises(ModelError, match="clock"):
+            server.publish(UpdateEvent(5, 2, "late"))
+
+    def test_published_events_interleave_with_trace(self, server):
+        server.publish(UpdateEvent(4, 0, "mid"))
+        server.advance_to(4)
+        assert server.probe(0).value == "mid"
+        server.advance_to(7)
+        assert server.probe(0).value == "b"
+
+    def test_version_counter(self, server):
+        server.advance_to(20)
+        assert server.version_of(0) == 2
+        assert server.version_of(1) == 1
+        assert server.version_of(9) == 0
+
+    def test_empty_server(self):
+        server = OriginServer()
+        server.advance_to(10)
+        assert server.probe(0).version == 0

@@ -1,0 +1,101 @@
+"""Edge-case tests for the online simulator: odd budgets, boundaries."""
+
+import pytest
+
+from repro.core import (
+    BudgetVector,
+    Epoch,
+    ExecutionInterval,
+    Profile,
+    ProfileSet,
+    TInterval,
+)
+from repro.online import MRSFPolicy, SEDFPolicy
+from repro.simulation import run_online
+
+
+def _single(resource: int, start: int, finish: int) -> Profile:
+    return Profile([TInterval([ExecutionInterval(resource, start,
+                                                 finish)])])
+
+
+class TestNonConstantBudgets:
+    def test_budget_burst_enables_capture(self):
+        # Budget exists only at chronon 4; both EIs span it.
+        profiles = ProfileSet([_single(0, 2, 6), _single(1, 3, 5)])
+        budget = BudgetVector(0, overrides={4: 2})
+        result = run_online(profiles, Epoch(10), budget, SEDFPolicy())
+        assert result.gc == 1.0
+        assert result.schedule.probes_at(4) == [0, 1]
+
+    def test_budget_zero_chronons_skipped(self):
+        profiles = ProfileSet([_single(0, 2, 3)])
+        budget = BudgetVector(0, overrides={3: 1})
+        result = run_online(profiles, Epoch(10), budget, SEDFPolicy())
+        assert result.gc == 1.0
+        assert result.schedule.probe_chronons(0) == [3]
+
+    def test_budget_respected_per_chronon(self):
+        profiles = ProfileSet([_single(r, 1, 10) for r in range(6)])
+        budget = BudgetVector(1, overrides={2: 3})
+        epoch = Epoch(10)
+        result = run_online(profiles, epoch, budget, SEDFPolicy())
+        assert result.schedule.respects_budget(budget, epoch)
+
+
+class TestEpochBoundaries:
+    def test_ei_at_last_chronon(self):
+        profiles = ProfileSet([_single(0, 10, 10)])
+        result = run_online(profiles, Epoch(10), BudgetVector(1),
+                            SEDFPolicy())
+        assert result.gc == 1.0
+
+    def test_ei_window_extending_past_epoch(self):
+        # Window [8, 50] in a 10-chronon epoch: capturable inside.
+        profiles = ProfileSet([_single(0, 8, 50)])
+        result = run_online(profiles, Epoch(10), BudgetVector(1),
+                            SEDFPolicy())
+        assert result.gc == 1.0
+
+    def test_ei_starting_past_epoch_expires(self):
+        profiles = ProfileSet([_single(0, 15, 20)])
+        result = run_online(profiles, Epoch(10), BudgetVector(1),
+                            SEDFPolicy())
+        assert result.gc == 0.0
+        assert result.expired == 1
+
+    def test_single_chronon_epoch(self):
+        profiles = ProfileSet([_single(0, 1, 1)])
+        result = run_online(profiles, Epoch(1), BudgetVector(1),
+                            SEDFPolicy())
+        assert result.gc == 1.0
+
+
+class TestMixedArrivalAndDoom:
+    def test_partially_past_multi_ei_tinterval(self):
+        # First EI [1,1] on r0 and a competing profile force a miss; the
+        # doomed second EI [5,9] must not stop the live profile.
+        profiles = ProfileSet([
+            Profile([TInterval([ExecutionInterval(0, 1, 1),
+                                ExecutionInterval(1, 5, 9)])]),
+            Profile([TInterval([ExecutionInterval(2, 1, 1)]),
+                     TInterval([ExecutionInterval(2, 1, 1)])]),
+            Profile([TInterval([ExecutionInterval(3, 6, 8)])]),
+        ])
+        result = run_online(profiles, Epoch(10), BudgetVector(1),
+                            MRSFPolicy())
+        # MRSF skips the doomed t-interval; the singleton on r3 wins.
+        assert result.schedule.probe_chronons(3) != []
+
+    def test_all_eis_same_resource(self):
+        profiles = ProfileSet([Profile([
+            TInterval([ExecutionInterval(0, 2, 4),
+                       ExecutionInterval(0, 3, 6),
+                       ExecutionInterval(0, 8, 9)])])])
+        result = run_online(profiles, Epoch(10), BudgetVector(1),
+                            MRSFPolicy())
+        # Greedy probing: one probe per activation wave (2, 3, 8); the
+        # t-interval completes with three probes on one resource.
+        assert result.gc == 1.0
+        assert result.probes_used == 3
+        assert result.schedule.probe_chronons(0) == [2, 3, 8]

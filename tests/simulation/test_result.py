@@ -1,0 +1,36 @@
+"""Tests for the SimulationResult container."""
+
+from repro.core import CompletenessReport, Schedule
+from repro.simulation import SimulationResult
+
+
+def _result(captured=3, total=4, **kwargs) -> SimulationResult:
+    report = CompletenessReport(captured=captured, total=total)
+    defaults = dict(label="demo", schedule=Schedule(),
+                    report=report, probes_used=7)
+    defaults.update(kwargs)
+    return SimulationResult(**defaults)
+
+
+class TestSimulationResult:
+    def test_gc_property(self):
+        assert _result().gc == 0.75
+
+    def test_gc_vacuous_for_empty(self):
+        assert _result(captured=0, total=0).gc == 1.0
+
+    def test_summary_contains_key_fields(self):
+        summary = _result(expired=1, runtime_seconds=0.25).summary()
+        assert "demo" in summary
+        assert "GC=0.7500" in summary
+        assert "(3/4)" in summary
+        assert "probes=7" in summary
+        assert "expired=1" in summary
+        assert "0.250s" in summary
+
+    def test_extras_default_empty(self):
+        assert _result().extras == {}
+
+    def test_extras_carried(self):
+        result = _result(extras={"accepted": 2.0})
+        assert result.extras["accepted"] == 2.0

@@ -1,0 +1,104 @@
+"""Tests for the eBay-like auction trace synthesizer."""
+
+import pytest
+
+from repro.core import Epoch
+from repro.traces import BRAND_CATALOG, AuctionTraceSynthesizer
+
+
+@pytest.fixture
+def synthesizer() -> AuctionTraceSynthesizer:
+    return AuctionTraceSynthesizer(50, Epoch(500), mean_bids=15.0, seed=9)
+
+
+class TestSpecs:
+    def test_population_size(self, synthesizer):
+        assert len(synthesizer.specs()) == 50
+
+    def test_specs_memoized(self, synthesizer):
+        assert synthesizer.specs() is synthesizer.specs()
+
+    def test_lifetimes_inside_epoch(self, synthesizer):
+        for spec in synthesizer.specs():
+            assert 1 <= spec.opens <= spec.closes <= 500
+
+    def test_brands_from_catalog(self, synthesizer):
+        brands = {name for name, _w, _r in BRAND_CATALOG}
+        assert all(spec.brand in brands for spec in synthesizer.specs())
+
+    def test_durations_positive(self, synthesizer):
+        assert all(spec.duration >= 1 for spec in synthesizer.specs())
+
+    def test_deterministic_given_seed(self):
+        a = AuctionTraceSynthesizer(10, Epoch(100), seed=1).specs()
+        b = AuctionTraceSynthesizer(10, Epoch(100), seed=1).specs()
+        assert a == b
+
+
+class TestValidation:
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            AuctionTraceSynthesizer(-1, Epoch(10))
+
+    def test_negative_bids_rejected(self):
+        with pytest.raises(ValueError):
+            AuctionTraceSynthesizer(1, Epoch(10), mean_bids=-1)
+
+    def test_bad_duration_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            AuctionTraceSynthesizer(1, Epoch(10),
+                                    mean_duration_fraction=0.0)
+        with pytest.raises(ValueError):
+            AuctionTraceSynthesizer(1, Epoch(10),
+                                    mean_duration_fraction=1.5)
+
+    def test_bad_sniping_share_rejected(self):
+        with pytest.raises(ValueError):
+            AuctionTraceSynthesizer(1, Epoch(10), sniping_share=1.0)
+
+
+class TestBidTrace:
+    def test_bids_within_auction_lifetime(self, synthesizer):
+        trace = synthesizer.generate()
+        lifetimes = {spec.resource_id: (spec.opens, spec.closes)
+                     for spec in synthesizer.specs()}
+        for event in trace:
+            opens, closes = lifetimes[event.resource_id]
+            assert opens <= event.chronon <= closes
+
+    def test_bid_payloads_are_prices(self, synthesizer):
+        trace = synthesizer.generate()
+        for event in trace:
+            assert event.payload.startswith("bid=")
+            assert float(event.payload[4:]) > 0
+
+    def test_prices_increase_within_auction(self, synthesizer):
+        trace = synthesizer.generate()
+        for resource_id in trace.resource_ids:
+            prices = [float(event.payload[4:])
+                      for event in trace.events_for(resource_id)]
+            assert prices == sorted(prices)
+
+    def test_sniping_concentrates_bids_near_close(self):
+        epoch = Epoch(1000)
+        synthesizer = AuctionTraceSynthesizer(
+            100, epoch, mean_bids=40.0, sniping_share=0.5, seed=2)
+        trace = synthesizer.generate()
+        lifetimes = {spec.resource_id: spec
+                     for spec in synthesizer.specs()}
+        last_decile = 0
+        total = 0
+        for event in trace:
+            spec = lifetimes[event.resource_id]
+            total += 1
+            if event.chronon > spec.closes - max(1, spec.duration // 10):
+                last_decile += 1
+        # The last 10% of lifetime holds far more than 10% of bids.
+        assert last_decile / total > 0.25
+
+    def test_catalog_matches_specs(self, synthesizer):
+        catalog = synthesizer.catalog()
+        assert len(catalog) == 50
+        for spec in synthesizer.specs():
+            resource = catalog[spec.resource_id]
+            assert resource.meta["brand"] == spec.brand

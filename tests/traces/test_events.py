@@ -1,0 +1,131 @@
+"""Tests for update events and traces, including the CSV round-trip."""
+
+import pytest
+
+from repro.core import Epoch, TraceFormatError
+from repro.traces import UpdateEvent, UpdateTrace
+
+
+class TestUpdateEvent:
+    def test_ordering_by_time_then_resource(self):
+        events = [UpdateEvent(5, 0), UpdateEvent(1, 2), UpdateEvent(1, 1)]
+        assert sorted(events) == [UpdateEvent(1, 1), UpdateEvent(1, 2),
+                                  UpdateEvent(5, 0)]
+
+    def test_invalid_chronon_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateEvent(0, 1)
+
+    def test_invalid_resource_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateEvent(1, -1)
+
+
+class TestUpdateTrace:
+    def test_events_sorted_on_construction(self):
+        trace = UpdateTrace([UpdateEvent(5, 0), UpdateEvent(1, 0)],
+                            Epoch(10))
+        assert [event.chronon for event in trace] == [1, 5]
+
+    def test_event_outside_epoch_rejected(self):
+        with pytest.raises(TraceFormatError, match="outside epoch"):
+            UpdateTrace([UpdateEvent(11, 0)], Epoch(10))
+
+    def test_events_for_resource(self):
+        trace = UpdateTrace(
+            [UpdateEvent(1, 0), UpdateEvent(3, 1), UpdateEvent(5, 0)],
+            Epoch(10))
+        assert [e.chronon for e in trace.events_for(0)] == [1, 5]
+        assert trace.events_for(9) == ()
+
+    def test_update_chronons_deduplicates(self):
+        trace = UpdateTrace(
+            [UpdateEvent(2, 0, "a"), UpdateEvent(2, 0, "b"),
+             UpdateEvent(7, 0)],
+            Epoch(10))
+        assert trace.update_chronons(0) == [2, 7]
+
+    def test_count_for(self):
+        trace = UpdateTrace([UpdateEvent(1, 0), UpdateEvent(2, 0)],
+                            Epoch(5))
+        assert trace.count_for(0) == 2
+        assert trace.count_for(3) == 0
+
+    def test_mean_intensity(self):
+        trace = UpdateTrace(
+            [UpdateEvent(1, 0), UpdateEvent(2, 0), UpdateEvent(3, 1),
+             UpdateEvent(4, 1)],
+            Epoch(5))
+        assert trace.mean_intensity() == 2.0
+
+    def test_mean_intensity_empty(self):
+        assert UpdateTrace([], Epoch(5)).mean_intensity() == 0.0
+
+    def test_restricted_to(self):
+        trace = UpdateTrace(
+            [UpdateEvent(1, 0), UpdateEvent(2, 1), UpdateEvent(3, 2)],
+            Epoch(5))
+        sub = trace.restricted_to([0, 2])
+        assert sub.resource_ids == [0, 2]
+        assert len(sub) == 2
+
+    def test_merged_with(self):
+        left = UpdateTrace([UpdateEvent(1, 0)], Epoch(5))
+        right = UpdateTrace([UpdateEvent(8, 1)], Epoch(10))
+        merged = left.merged_with(right)
+        assert merged.epoch.length == 10
+        assert len(merged) == 2
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_preserves_events(self, tmp_path):
+        trace = UpdateTrace(
+            [UpdateEvent(1, 0, "bid=5.00"), UpdateEvent(3, 1)],
+            Epoch(10))
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        loaded = UpdateTrace.from_csv(path, Epoch(10))
+        assert list(loaded) == list(trace)
+
+    def test_epoch_inferred_from_events(self, tmp_path):
+        trace = UpdateTrace([UpdateEvent(7, 0)], Epoch(20))
+        path = tmp_path / "trace.csv"
+        trace.to_csv(path)
+        loaded = UpdateTrace.from_csv(path)
+        assert loaded.epoch.length == 7
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(TraceFormatError, match="empty"):
+            UpdateTrace.from_csv(path)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("foo,bar\n1,2\n")
+        with pytest.raises(TraceFormatError, match="header"):
+            UpdateTrace.from_csv(path)
+
+    def test_non_integer_field_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("resource_id,chronon,payload\nx,2,\n")
+        with pytest.raises(TraceFormatError, match="non-integer"):
+            UpdateTrace.from_csv(path)
+
+    def test_short_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("resource_id,chronon,payload\n1\n")
+        with pytest.raises(TraceFormatError, match="columns"):
+            UpdateTrace.from_csv(path)
+
+    def test_invalid_event_values_reported_with_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("resource_id,chronon,payload\n0,0,\n")
+        with pytest.raises(TraceFormatError, match=":2:"):
+            UpdateTrace.from_csv(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("resource_id,chronon,payload\n0,1,\n\n1,2,\n")
+        loaded = UpdateTrace.from_csv(path)
+        assert len(loaded) == 2

@@ -1,0 +1,70 @@
+"""Tests for the Web-feed trace synthesizer."""
+
+import pytest
+
+from repro.core import Epoch
+from repro.traces import FeedTraceSynthesizer
+
+
+class TestValidation:
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            FeedTraceSynthesizer(-1, Epoch(10))
+
+    def test_bad_chronons_per_hour_rejected(self):
+        with pytest.raises(ValueError):
+            FeedTraceSynthesizer(1, Epoch(10), chronons_per_hour=0)
+
+    def test_bad_hourly_share_rejected(self):
+        with pytest.raises(ValueError):
+            FeedTraceSynthesizer(1, Epoch(10), hourly_share=1.5)
+
+
+class TestPopulation:
+    def test_hourly_share_respected_in_catalog(self):
+        synthesizer = FeedTraceSynthesizer(100, Epoch(200),
+                                           hourly_share=0.55, seed=1)
+        kinds = [resource.meta["kind"]
+                 for resource in synthesizer.catalog()]
+        assert kinds.count("hourly") == 55
+        assert kinds.count("poisson") == 45
+
+    def test_all_hourly(self):
+        synthesizer = FeedTraceSynthesizer(10, Epoch(100),
+                                           hourly_share=1.0, seed=1)
+        kinds = {resource.meta["kind"]
+                 for resource in synthesizer.catalog()}
+        assert kinds == {"hourly"}
+
+
+class TestTrace:
+    def test_deterministic_given_seed(self):
+        a = FeedTraceSynthesizer(20, Epoch(200), seed=5).generate()
+        b = FeedTraceSynthesizer(20, Epoch(200), seed=5).generate()
+        assert list(a) == list(b)
+
+    def test_events_inside_epoch(self):
+        epoch = Epoch(150)
+        trace = FeedTraceSynthesizer(30, Epoch(150), seed=2).generate()
+        assert all(event.chronon in epoch for event in trace)
+
+    def test_hourly_feeds_update_roughly_hourly(self):
+        epoch = Epoch(1000)
+        synthesizer = FeedTraceSynthesizer(
+            10, epoch, chronons_per_hour=10, hourly_share=1.0, seed=3)
+        trace = synthesizer.generate()
+        for feed_id in trace.resource_ids:
+            count = trace.count_for(feed_id)
+            # ~100 hours in the epoch; jitter/dedup allows some slack.
+            assert 80 <= count <= 110
+
+    def test_at_most_one_event_per_chronon_per_feed(self):
+        trace = FeedTraceSynthesizer(40, Epoch(300), seed=4).generate()
+        for feed_id in trace.resource_ids:
+            chronons = [event.chronon
+                        for event in trace.events_for(feed_id)]
+            assert len(chronons) == len(set(chronons))
+
+    def test_item_payloads(self):
+        trace = FeedTraceSynthesizer(5, Epoch(100), seed=6).generate()
+        assert all(event.payload.startswith("item-") for event in trace)

@@ -1,0 +1,110 @@
+"""Tests for the update models (Poisson, FPN, periodic)."""
+
+import pytest
+
+from repro.core import Epoch
+from repro.traces import (
+    FPNUpdateModel,
+    PeriodicUpdateModel,
+    PoissonUpdateModel,
+    UpdateEvent,
+    UpdateTrace,
+)
+
+
+class TestPoissonModel:
+    def test_deterministic_given_seed(self):
+        epoch = Epoch(100)
+        first = PoissonUpdateModel(10, seed=1).generate(range(5), epoch)
+        second = PoissonUpdateModel(10, seed=1).generate(range(5), epoch)
+        assert list(first) == list(second)
+
+    def test_different_seeds_differ(self):
+        epoch = Epoch(200)
+        first = PoissonUpdateModel(20, seed=1).generate(range(5), epoch)
+        second = PoissonUpdateModel(20, seed=2).generate(range(5), epoch)
+        assert list(first) != list(second)
+
+    def test_intensity_controls_event_count(self):
+        epoch = Epoch(1000)
+        resources = range(50)
+        sparse = PoissonUpdateModel(5, seed=3).generate(resources, epoch)
+        dense = PoissonUpdateModel(50, seed=3).generate(resources, epoch)
+        assert len(dense) > len(sparse) * 3
+
+    def test_mean_intensity_close_to_lambda(self):
+        epoch = Epoch(1000)
+        trace = PoissonUpdateModel(20, seed=4).generate(range(200), epoch)
+        # Collapsing same-chronon hits biases slightly low; allow 15%.
+        assert trace.mean_intensity() == pytest.approx(20, rel=0.15)
+
+    def test_zero_intensity_yields_no_events(self):
+        trace = PoissonUpdateModel(0, seed=1).generate(range(5), Epoch(50))
+        assert len(trace) == 0
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonUpdateModel(-1)
+
+    def test_per_resource_intensity_override(self):
+        epoch = Epoch(1000)
+        model = PoissonUpdateModel(2, seed=5,
+                                   per_resource_intensity={0: 80})
+        trace = model.generate([0, 1], epoch)
+        assert trace.count_for(0) > trace.count_for(1) * 5
+
+    def test_negative_override_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonUpdateModel(1, per_resource_intensity={0: -1})
+
+    def test_events_within_epoch(self):
+        epoch = Epoch(77)
+        trace = PoissonUpdateModel(30, seed=6).generate(range(10), epoch)
+        assert all(event.chronon in epoch for event in trace)
+
+
+class TestFPNModel:
+    def test_replays_trace(self):
+        epoch = Epoch(10)
+        recorded = UpdateTrace(
+            [UpdateEvent(1, 0), UpdateEvent(5, 1)], epoch)
+        model = FPNUpdateModel(recorded)
+        replay = model.generate([0, 1], epoch)
+        assert list(replay) == list(recorded)
+
+    def test_restricts_resources(self):
+        epoch = Epoch(10)
+        recorded = UpdateTrace(
+            [UpdateEvent(1, 0), UpdateEvent(5, 1)], epoch)
+        replay = FPNUpdateModel(recorded).generate([1], epoch)
+        assert replay.resource_ids == [1]
+
+    def test_restricts_epoch(self):
+        recorded = UpdateTrace(
+            [UpdateEvent(1, 0), UpdateEvent(9, 0)], Epoch(10))
+        replay = FPNUpdateModel(recorded).generate([0], Epoch(5))
+        assert [event.chronon for event in replay] == [1]
+
+    def test_exposes_ground_truth(self):
+        recorded = UpdateTrace([UpdateEvent(1, 0)], Epoch(5))
+        assert FPNUpdateModel(recorded).trace is recorded
+
+
+class TestPeriodicModel:
+    def test_period_spacing(self):
+        trace = PeriodicUpdateModel(10).generate([0], Epoch(35))
+        assert trace.update_chronons(0) == [1, 11, 21, 31]
+
+    def test_phase_shift(self):
+        trace = PeriodicUpdateModel(10, phase=3).generate([0], Epoch(30))
+        assert trace.update_chronons(0) == [4, 14, 24]
+
+    def test_per_resource_phases(self):
+        model = PeriodicUpdateModel(10, phases={1: 5})
+        trace = model.generate([0, 1], Epoch(20))
+        assert trace.update_chronons(0) == [1, 11]
+        assert trace.update_chronons(1) == [6, 16]
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicUpdateModel(0)

@@ -1,0 +1,80 @@
+"""Tests for the multi-market stock tick synthesizer."""
+
+import pytest
+
+from repro.core import Epoch
+from repro.traces import StockMarketSynthesizer
+from repro.traces.events import UpdateEvent
+
+
+@pytest.fixture
+def synthesizer() -> StockMarketSynthesizer:
+    return StockMarketSynthesizer(3, Epoch(300), updates_per_market=40,
+                                  seed=11)
+
+
+class TestValidation:
+    def test_zero_markets_rejected(self):
+        with pytest.raises(ValueError):
+            StockMarketSynthesizer(0, Epoch(10))
+
+    def test_negative_update_rate_rejected(self):
+        with pytest.raises(ValueError):
+            StockMarketSynthesizer(1, Epoch(10), updates_per_market=-1)
+
+
+class TestTrace:
+    def test_deterministic_given_seed(self):
+        a = StockMarketSynthesizer(2, Epoch(100), seed=1).generate()
+        b = StockMarketSynthesizer(2, Epoch(100), seed=1).generate()
+        assert list(a) == list(b)
+
+    def test_all_markets_present(self, synthesizer):
+        trace = synthesizer.generate()
+        assert trace.resource_ids == [0, 1, 2]
+
+    def test_update_counts_near_target(self, synthesizer):
+        trace = synthesizer.generate()
+        for market in trace.resource_ids:
+            assert 20 <= trace.count_for(market) <= 60
+
+    def test_prices_stay_positive(self, synthesizer):
+        trace = synthesizer.generate()
+        for event in trace:
+            quote = StockMarketSynthesizer.parse_quote(event)
+            assert quote.price > 0
+
+    def test_markets_track_shared_latent_price(self):
+        # With tiny divergence, same-chronon prices on different markets
+        # must be near-identical.
+        synthesizer = StockMarketSynthesizer(
+            2, Epoch(500), updates_per_market=200, volatility=0.002,
+            divergence=1e-6, seed=7)
+        trace = synthesizer.generate()
+        by_chronon: dict[int, list[float]] = {}
+        for event in trace:
+            quote = StockMarketSynthesizer.parse_quote(event)
+            by_chronon.setdefault(quote.chronon, []).append(quote.price)
+        shared = [prices for prices in by_chronon.values()
+                  if len(prices) > 1]
+        assert shared, "expected some same-chronon quotes on both markets"
+        for prices in shared:
+            assert max(prices) - min(prices) < 0.01
+
+    def test_catalog(self, synthesizer):
+        catalog = synthesizer.catalog()
+        assert len(catalog) == 3
+        assert catalog[1].meta["market"] == "1"
+
+
+class TestParseQuote:
+    def test_round_trip(self):
+        event = UpdateEvent(5, 1, "price=101.2345")
+        quote = StockMarketSynthesizer.parse_quote(event)
+        assert quote.market == 1
+        assert quote.chronon == 5
+        assert quote.price == pytest.approx(101.2345)
+
+    def test_non_price_payload_rejected(self):
+        with pytest.raises(ValueError, match="not a price"):
+            StockMarketSynthesizer.parse_quote(UpdateEvent(1, 0, "bid=1"))

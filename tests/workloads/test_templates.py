@@ -1,0 +1,105 @@
+"""Tests for the AuctionWatch and SingleResource profile templates."""
+
+import pytest
+
+from repro.core import Epoch, WorkloadError
+from repro.traces import UpdateEvent, UpdateTrace
+from repro.workloads import (
+    AuctionWatchTemplate,
+    SingleResourceTemplate,
+    WindowRestriction,
+)
+
+
+@pytest.fixture
+def trace() -> UpdateTrace:
+    # Resource 0 updates at 2, 10; resource 1 at 3, 12; resource 2 at 30.
+    return UpdateTrace(
+        [UpdateEvent(2, 0), UpdateEvent(10, 0),
+         UpdateEvent(3, 1), UpdateEvent(12, 1),
+         UpdateEvent(30, 2)],
+        Epoch(40))
+
+
+class TestIndexedGrouping:
+    def test_pairs_ith_updates(self, trace):
+        template = AuctionWatchTemplate(WindowRestriction(5))
+        profile = template.build_profile([0, 1], trace, Epoch(40))
+        assert len(profile) == 2
+        first = profile[0]
+        assert {(ei.resource_id, ei.start) for ei in first} == {(0, 2),
+                                                                (1, 3)}
+
+    def test_rounds_limited_by_sparsest_resource(self, trace):
+        template = AuctionWatchTemplate(WindowRestriction(5))
+        profile = template.build_profile([0, 2], trace, Epoch(40))
+        assert len(profile) == 1  # resource 2 has a single update
+
+    def test_resource_without_updates_yields_empty_profile(self, trace):
+        template = AuctionWatchTemplate(WindowRestriction(5))
+        profile = template.build_profile([0, 3], trace, Epoch(40))
+        assert len(profile) == 0
+
+    def test_rank_equals_resource_count(self, trace):
+        template = AuctionWatchTemplate(WindowRestriction(5))
+        profile = template.build_profile([0, 1], trace, Epoch(40))
+        assert profile.rank == 2
+
+
+class TestOverlapGrouping:
+    def test_pairs_overlapping_windows(self, trace):
+        template = AuctionWatchTemplate(WindowRestriction(5),
+                                        grouping="overlap")
+        profile = template.build_profile([0, 1], trace, Epoch(40))
+        # Anchor = sparsest stream (tie -> first): windows [2,7]&[3,8]
+        # overlap, [10,15]&[12,17] overlap.
+        assert len(profile) == 2
+        for eta in profile:
+            eis = list(eta)
+            assert eis[0].overlaps(eis[1])
+
+    def test_anchor_without_match_dropped(self, trace):
+        template = AuctionWatchTemplate(WindowRestriction(5),
+                                        grouping="overlap")
+        # Resource 2's window [30,35] overlaps nothing on resource 0.
+        profile = template.build_profile([2, 0], trace, Epoch(40))
+        assert len(profile) == 0
+
+    def test_unknown_grouping_rejected(self):
+        with pytest.raises(WorkloadError, match="grouping"):
+            AuctionWatchTemplate(WindowRestriction(5), grouping="magic")
+
+
+class TestTemplateValidation:
+    def test_empty_resource_list_rejected(self, trace):
+        template = AuctionWatchTemplate(WindowRestriction(5))
+        with pytest.raises(WorkloadError):
+            template.build_profile([], trace, Epoch(40))
+
+    def test_duplicate_resources_rejected(self, trace):
+        template = AuctionWatchTemplate(WindowRestriction(5))
+        with pytest.raises(WorkloadError, match="duplicate"):
+            template.build_profile([0, 0], trace, Epoch(40))
+
+    def test_default_name(self, trace):
+        template = AuctionWatchTemplate(WindowRestriction(5))
+        profile = template.build_profile([0, 1], trace, Epoch(40))
+        assert profile.name == "AuctionWatch(2)"
+
+
+class TestSingleResourceTemplate:
+    def test_each_ei_its_own_tinterval(self, trace):
+        template = SingleResourceTemplate(WindowRestriction(5))
+        profile = template.build_profile([0, 1], trace, Epoch(40))
+        assert len(profile) == 4
+        assert profile.rank == 1
+
+    def test_empty_resource_list_rejected(self, trace):
+        template = SingleResourceTemplate(WindowRestriction(5))
+        with pytest.raises(WorkloadError):
+            template.build_profile([], trace, Epoch(40))
+
+    def test_resource_without_updates_contributes_nothing(self, trace):
+        template = SingleResourceTemplate(WindowRestriction(5))
+        profile = template.build_profile([3], trace, Epoch(40))
+        assert len(profile) == 0

@@ -1,0 +1,91 @@
+"""Tests for bounded Zipf sampling."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import BoundedZipf
+
+
+class TestValidation:
+    def test_negative_theta_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedZipf(-0.1, 10)
+
+    def test_empty_support_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedZipf(1.0, 0)
+
+
+class TestPmf:
+    def test_uniform_when_theta_zero(self):
+        dist = BoundedZipf(0.0, 4)
+        assert all(dist.pmf(i) == pytest.approx(0.25) for i in range(1, 5))
+
+    def test_pmf_sums_to_one(self):
+        dist = BoundedZipf(1.37, 100)
+        assert sum(dist.pmf(i) for i in range(1, 101)) == pytest.approx(1)
+
+    def test_pmf_decreasing_for_positive_theta(self):
+        dist = BoundedZipf(1.0, 10)
+        values = [dist.pmf(i) for i in range(1, 11)]
+        assert values == sorted(values, reverse=True)
+
+    def test_pmf_zero_outside_support(self):
+        dist = BoundedZipf(1.0, 10)
+        assert dist.pmf(0) == 0.0
+        assert dist.pmf(11) == 0.0
+
+    def test_exact_ratio(self):
+        dist = BoundedZipf(1.0, 2)
+        # P(1)/P(2) = 2 for theta=1.
+        assert dist.pmf(1) / dist.pmf(2) == pytest.approx(2.0)
+
+
+class TestSampling:
+    def test_samples_in_support(self):
+        rng = np.random.default_rng(1)
+        dist = BoundedZipf(1.5, 7, rng=rng)
+        samples = dist.sample_many(1000)
+        assert samples.min() >= 1
+        assert samples.max() <= 7
+
+    def test_skew_prefers_small_values(self):
+        rng = np.random.default_rng(2)
+        dist = BoundedZipf(2.0, 50, rng=rng)
+        samples = dist.sample_many(5000)
+        assert np.mean(samples == 1) > 0.5
+
+    def test_uniform_sampling_flat(self):
+        rng = np.random.default_rng(3)
+        dist = BoundedZipf(0.0, 4, rng=rng)
+        samples = dist.sample_many(8000)
+        for value in range(1, 5):
+            assert np.mean(samples == value) == pytest.approx(0.25,
+                                                              abs=0.03)
+
+    def test_single_sample(self):
+        dist = BoundedZipf(1.0, 5, rng=np.random.default_rng(4))
+        assert 1 <= dist.sample() <= 5
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedZipf(0.0, 3).sample_many(-1)
+
+
+class TestSampleDistinct:
+    def test_distinct_values(self):
+        dist = BoundedZipf(1.0, 10, rng=np.random.default_rng(5))
+        for _ in range(20):
+            drawn = dist.sample_distinct(5)
+            assert len(set(drawn)) == 5
+
+    def test_full_support_draw(self):
+        dist = BoundedZipf(1.0, 5, rng=np.random.default_rng(6))
+        assert sorted(dist.sample_distinct(5)) == [1, 2, 3, 4, 5]
+
+    def test_over_draw_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            BoundedZipf(1.0, 3).sample_distinct(4)
+
+    def test_zero_draw(self):
+        assert BoundedZipf(1.0, 3).sample_distinct(0) == []
