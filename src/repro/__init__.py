@@ -29,6 +29,16 @@ from repro.analysis import (
     compute_stats,
 )
 from repro.dsl import compile_text, parse
+from repro.faults import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultSpec,
+    FaultTrace,
+    Outage,
+    ProbeOutcome,
+    RetryConfig,
+    UnreliableServer,
+)
 from repro.forecast import (
     AdaptiveEstimator,
     ForecastUpdateModel,
@@ -105,7 +115,15 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AdaptiveEstimator",
+    "CircuitBreaker",
     "Client",
+    "FaultInjector",
+    "FaultSpec",
+    "FaultTrace",
+    "Outage",
+    "ProbeOutcome",
+    "RetryConfig",
+    "UnreliableServer",
     "ForecastUpdateModel",
     "MonitoringProxy",
     "Notification",

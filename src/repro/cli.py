@@ -18,6 +18,7 @@ from repro.experiments import (
     FigurePair,
     RunOutcome,
     SweepResult,
+    fault_sweep,
     figure3,
     figure4,
     figure5,
@@ -38,6 +39,7 @@ _EXPERIMENTS: dict[str, Callable[[str], object]] = {
     "fig6": figure6,
     "fig7": figure7,
     "fig8": figure8,
+    "faults": fault_sweep,
 }
 
 
@@ -97,7 +99,9 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=sorted(_EXPERIMENTS) + ["all", "stats"],
         help="which table/figure to run ('all' runs everything; "
-             "'stats' prints baseline instance statistics)",
+             "'stats' prints baseline instance statistics; 'faults' "
+             "sweeps origin-server failure rates for the "
+             "graceful-degradation curves)",
     )
     parser.add_argument(
         "--scale", choices=["paper", "default", "smoke"],

@@ -11,7 +11,9 @@ from repro.core.completeness import (
     gained_completeness,
 )
 from repro.core.errors import (
+    FaultError,
     ModelError,
+    ProbeFailure,
     ReproError,
     ScheduleInfeasibleError,
     SolverCapacityError,
@@ -37,10 +39,12 @@ __all__ = [
     "Diagnostic",
     "Epoch",
     "ExecutionInterval",
+    "FaultError",
     "ModelError",
     "Probe",
     "Profile",
     "ProfileSet",
+    "ProbeFailure",
     "ReproError",
     "Resource",
     "ResourceCatalog",

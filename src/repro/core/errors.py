@@ -8,7 +8,9 @@ from __future__ import annotations
 
 __all__ = [
     "ReproError",
+    "FaultError",
     "ModelError",
+    "ProbeFailure",
     "ScheduleInfeasibleError",
     "SolverError",
     "SolverCapacityError",
@@ -48,3 +50,27 @@ class TraceFormatError(ReproError):
 
 class WorkloadError(ReproError):
     """Invalid workload/profile-generation parameters."""
+
+
+class FaultError(ReproError):
+    """Invalid fault-injection configuration (specs, outages, traces)."""
+
+
+class ProbeFailure(FaultError):
+    """A pull request got no usable answer (drop, timeout, outage...).
+
+    Raised only by the *strict* probe surface
+    (:meth:`repro.faults.UnreliableServer.probe`); the proxy runtime uses
+    the outcome-returning :meth:`try_probe` path instead and never sees
+    this exception.
+    """
+
+    def __init__(self, resource_id: int, chronon: int,
+                 fault: str | None = None) -> None:
+        self.resource_id = resource_id
+        self.chronon = chronon
+        self.fault = fault
+        detail = f" ({fault})" if fault else ""
+        super().__init__(
+            f"probe of resource {resource_id} failed at chronon "
+            f"{chronon}{detail}")

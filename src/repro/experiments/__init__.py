@@ -8,6 +8,13 @@ from repro.experiments.churn import (
     run_churn,
 )
 from repro.experiments.config import ExperimentConfig, SCALES, baseline
+from repro.experiments.faults import (
+    DEFAULT_FAILURE_RATES,
+    FAULT_POLICY_VARIANTS,
+    breaker_ablation,
+    fault_sweep,
+    run_fault_setting,
+)
 from repro.experiments.figures import (
     ALL_POLICY_VARIANTS,
     FigurePair,
@@ -32,6 +39,11 @@ from repro.experiments.reporting import render_table, sweep_csv, sweep_table
 
 __all__ = [
     "ALL_POLICY_VARIANTS",
+    "DEFAULT_FAILURE_RATES",
+    "FAULT_POLICY_VARIANTS",
+    "breaker_ablation",
+    "fault_sweep",
+    "run_fault_setting",
     "ChurnConfig",
     "ChurnResult",
     "ClientOutcome",

@@ -1,0 +1,143 @@
+"""Graceful-degradation experiments: GC under unreliable origin servers.
+
+Beyond the paper (whose evaluation assumes every probe succeeds): sweep
+the per-probe failure rate of the origin server and measure how each
+policy family's gained completeness degrades. Failed probes burn budget
+— the paper's ``C_j`` is a request budget — so policies degrade both
+because captures are lost outright and because retries/wasted probes
+starve other candidates.
+
+Two knobs beyond the failure rate matter and are exposed:
+
+* an in-chronon retry allowance (spends leftover budget on failed
+  probes);
+* a circuit breaker quarantining persistently dead resources, which is
+  what keeps a permanent outage from bleeding the whole budget.
+
+The sweep reuses the harness's :class:`RunOutcome`/:class:`SweepResult`
+containers, so the standard reporting/export pipeline renders it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.config import ExperimentConfig, baseline
+from repro.experiments.harness import (
+    PolicyOutcome,
+    RunOutcome,
+    SweepResult,
+    make_instance,
+)
+from repro.faults.breaker import CircuitBreaker, RetryConfig
+from repro.faults.model import FaultSpec, Outage
+from repro.online.registry import parse_policy_spec
+from repro.simulation.proxy import run_online
+
+__all__ = [
+    "DEFAULT_FAILURE_RATES",
+    "FAULT_POLICY_VARIANTS",
+    "breaker_ablation",
+    "fault_sweep",
+    "run_fault_setting",
+]
+
+#: The four policy families of the degradation plots, (P) and (NP) each.
+FAULT_POLICY_VARIANTS: tuple[str, ...] = (
+    "S-EDF(P)", "S-EDF(NP)",
+    "MRSF(P)", "MRSF(NP)",
+    "M-EDF(P)", "M-EDF(NP)",
+    "COVERAGE(P)", "COVERAGE(NP)",
+)
+
+DEFAULT_FAILURE_RATES: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
+
+
+def _default_breaker() -> CircuitBreaker:
+    return CircuitBreaker(failure_threshold=3, cooldown=4,
+                          backoff_factor=2.0, max_cooldown=64)
+
+
+def run_fault_setting(config: ExperimentConfig, failure_rate: float,
+                      policies: Sequence[str] = FAULT_POLICY_VARIANTS,
+                      retry: RetryConfig | None = RetryConfig(1),
+                      use_breaker: bool = True,
+                      source: str = "poisson") -> RunOutcome:
+    """All policies on shared instances, each probe failing with
+    ``failure_rate``.
+
+    Every (policy, repetition) run gets a fresh breaker — breaker state
+    is per-run — but the fault *seed* is shared per repetition, so all
+    policies face the same unreliable world.
+    """
+    gc_acc: dict[str, list[float]] = {label: [] for label in policies}
+    rt_acc: dict[str, list[float]] = {label: [] for label in policies}
+    for repetition in range(config.repetitions):
+        _trace, profiles = make_instance(config, repetition, source=source)
+        spec = FaultSpec(failure_probability=failure_rate,
+                         seed=config.seed + 7919 * repetition)
+        for label in policies:
+            policy, preemptive = parse_policy_spec(label)
+            result = run_online(
+                profiles, config.epoch, config.budget_vector, policy,
+                preemptive=preemptive, faults=spec, retry=retry,
+                breaker=_default_breaker() if use_breaker else None)
+            gc_acc[label].append(result.gc)
+            rt_acc[label].append(result.runtime_seconds)
+    outcomes = {
+        label: PolicyOutcome(label, tuple(gc_acc[label]),
+                             tuple(rt_acc[label]))
+        for label in policies
+    }
+    return RunOutcome(config=config, outcomes=outcomes)
+
+
+def fault_sweep(scale: str = "default",
+                rates: Sequence[float] = DEFAULT_FAILURE_RATES,
+                policies: Sequence[str] = FAULT_POLICY_VARIANTS,
+                retry: RetryConfig | None = RetryConfig(1),
+                use_breaker: bool = True) -> SweepResult:
+    """The graceful-degradation curve: GC vs. per-probe failure rate."""
+    config = baseline(scale)
+    runs = tuple(
+        run_fault_setting(config, rate, policies, retry=retry,
+                          use_breaker=use_breaker)
+        for rate in rates
+    )
+    return SweepResult(name="faults", parameter="failure_rate",
+                       x_values=tuple(rates), runs=runs)
+
+
+def breaker_ablation(scale: str = "smoke",
+                     policy: str = "S-EDF(P)",
+                     dead_resources: Sequence[int] = (0,),
+                     ) -> dict[str, float]:
+    """GC with and without the circuit breaker under permanent outages.
+
+    Kills ``dead_resources`` for the whole epoch and runs one policy
+    twice on the same instances. Returns ``{"with_breaker": gc,
+    "without_breaker": gc}`` — with the breaker the budget wasted on
+    dead resources is redirected, so its GC should come out at least as
+    high.
+    """
+    config = baseline(scale)
+    outages = tuple(Outage(resource_id, 0, None)
+                    for resource_id in dead_resources)
+    spec = FaultSpec(outages=outages, seed=config.seed)
+    gc_with: list[float] = []
+    gc_without: list[float] = []
+    for repetition in range(config.repetitions):
+        _trace, profiles = make_instance(config, repetition)
+        for accumulator, breaker in ((gc_with, _default_breaker()),
+                                     (gc_without, None)):
+            # Fresh policy per run: some baselines keep per-run state.
+            policy_obj, preemptive = parse_policy_spec(policy)
+            result = run_online(profiles, config.epoch,
+                                config.budget_vector, policy_obj,
+                                preemptive=preemptive, faults=spec,
+                                breaker=breaker)
+            accumulator.append(result.gc)
+    return {
+        "with_breaker": sum(gc_with) / len(gc_with),
+        "without_breaker": sum(gc_without) / len(gc_without),
+    }

@@ -1,0 +1,55 @@
+"""Fault injection: unreliable origin servers and budget-aware recovery.
+
+The paper assumes the proxy's pulls always succeed; real volatile sources
+do not. This package makes unreliability a first-class, *deterministic*
+part of the model:
+
+* :class:`FaultSpec` / :class:`FaultInjector` — declarative fault model
+  (drops, timeouts, outages, rate limiting, stale reads) with seeded,
+  order-independent draws and a replayable :class:`FaultTrace`;
+* :class:`UnreliableServer` — a fault-injecting wrapper over any
+  :class:`~repro.runtime.server.OriginServer`;
+* :class:`RetryConfig` / :class:`CircuitBreaker` — in-chronon retries
+  from leftover budget, and exponential-backoff quarantine of
+  persistently dead resources;
+* :func:`execute_probes` — the probe-execution engine shared by the
+  simulator and the live proxy, so both account for faults identically.
+"""
+
+from repro.faults.breaker import CircuitBreaker, RetryConfig
+from repro.faults.engine import ProbeRound, execute_probes
+from repro.faults.model import (
+    FaultDecision,
+    FaultInjector,
+    FaultRecord,
+    FaultSpec,
+    FaultTrace,
+    Outage,
+    RecordedFaults,
+)
+from repro.faults.server import UnreliableServer
+from repro.runtime.server import (
+    PROBE_FAILED,
+    PROBE_OK,
+    PROBE_THROTTLED,
+    ProbeOutcome,
+)
+
+__all__ = [
+    "PROBE_FAILED",
+    "PROBE_OK",
+    "PROBE_THROTTLED",
+    "CircuitBreaker",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultRecord",
+    "FaultSpec",
+    "FaultTrace",
+    "Outage",
+    "ProbeOutcome",
+    "ProbeRound",
+    "RecordedFaults",
+    "RetryConfig",
+    "UnreliableServer",
+    "execute_probes",
+]

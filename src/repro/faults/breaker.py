@@ -1,0 +1,138 @@
+"""Budget-preserving failure handling: retries, backoff, circuit breaking.
+
+The paper's per-chronon budget ``C_j`` counts *requests*, so every failed
+probe is budget burned. Two mechanisms keep a policy from burning its
+whole budget on a dead source:
+
+* :class:`RetryConfig` — an in-chronon retry allowance for failed probes,
+  spent only from budget left over after the policy's selections;
+* :class:`CircuitBreaker` — per-resource consecutive-failure tracking
+  with exponential backoff: after ``failure_threshold`` consecutive
+  failures a resource is *quarantined* (excluded from candidate
+  selection) for a cooldown that doubles on every re-trip, so a
+  persistently dead resource costs one trial probe per cooldown window
+  instead of one per chronon.
+
+This module deliberately imports nothing from the runtime — the same
+breaker instance drives both the measurement simulator and the live
+proxy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import FaultError
+from repro.core.timeline import Chronon
+
+__all__ = ["CircuitBreaker", "RetryConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class RetryConfig:
+    """In-chronon retry allowance for failed probes.
+
+    Attributes
+    ----------
+    max_retries:
+        Retries allowed per failed resource within one chronon. Each
+        retry consumes one unit of leftover budget.
+    """
+
+    max_retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise FaultError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+
+
+class _ResourceState:
+    """Breaker bookkeeping for one resource."""
+
+    __slots__ = ("consecutive_failures", "open_until", "trips")
+
+    def __init__(self) -> None:
+        self.consecutive_failures = 0
+        self.open_until: Chronon = -1
+        self.trips = 0
+
+
+class CircuitBreaker:
+    """Per-resource quarantine with exponential backoff.
+
+    A resource trips open after ``failure_threshold`` consecutive
+    failures and stays quarantined for ``cooldown`` chronons; when the
+    cooldown elapses the next probe is a half-open trial — success resets
+    the resource, failure re-trips it with the cooldown scaled by
+    ``backoff_factor`` (capped at ``max_cooldown``).
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures before the first trip.
+    cooldown:
+        Initial quarantine length, in chronons.
+    backoff_factor:
+        Cooldown multiplier per successive trip.
+    max_cooldown:
+        Upper bound on any single quarantine window.
+    """
+
+    def __init__(self, failure_threshold: int = 3, cooldown: int = 4,
+                 backoff_factor: float = 2.0,
+                 max_cooldown: int = 64) -> None:
+        if failure_threshold < 1:
+            raise FaultError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown < 1:
+            raise FaultError(f"cooldown must be >= 1, got {cooldown}")
+        if backoff_factor < 1.0:
+            raise FaultError(
+                f"backoff_factor must be >= 1.0, got {backoff_factor}")
+        if max_cooldown < cooldown:
+            raise FaultError("max_cooldown must be >= cooldown")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.backoff_factor = backoff_factor
+        self.max_cooldown = max_cooldown
+        self._states: dict[int, _ResourceState] = {}
+        self.ever_quarantined: set[int] = set()
+
+    def _cooldown_for(self, trips: int) -> int:
+        scaled = self.cooldown * self.backoff_factor ** trips
+        return min(self.max_cooldown, int(scaled))
+
+    def is_blocked(self, resource_id: int, chronon: Chronon) -> bool:
+        """True while the resource is quarantined at ``chronon``."""
+        state = self._states.get(resource_id)
+        return state is not None and chronon <= state.open_until
+
+    def record_failure(self, resource_id: int, chronon: Chronon) -> bool:
+        """Count one failed probe; returns True when this trips the breaker.
+
+        Failures past the threshold (the half-open trial failing) re-trip
+        immediately with a longer cooldown.
+        """
+        state = self._states.setdefault(resource_id, _ResourceState())
+        state.consecutive_failures += 1
+        if state.consecutive_failures < self.failure_threshold:
+            return False
+        state.open_until = chronon + self._cooldown_for(state.trips)
+        state.trips += 1
+        self.ever_quarantined.add(resource_id)
+        return True
+
+    def record_success(self, resource_id: int) -> None:
+        """A successful probe fully closes the resource's breaker."""
+        self._states.pop(resource_id, None)
+
+    def quarantined_now(self, chronon: Chronon) -> set[int]:
+        """Resources currently quarantined at ``chronon``."""
+        return {resource_id for resource_id, state in self._states.items()
+                if chronon <= state.open_until}
+
+    @property
+    def quarantined_count(self) -> int:
+        """Distinct resources ever quarantined."""
+        return len(self.ever_quarantined)

@@ -1,0 +1,111 @@
+"""Shared probe-execution engine: budget-aware retries over any prober.
+
+The measurement simulator and the live proxy must account for faults
+identically (the repo's core invariant: measured completeness and
+delivered notifications may never disagree), so the execution of one
+chronon's probe decisions — first attempts, failure accounting, breaker
+updates, and leftover-budget retries — lives here, parameterised by a
+``prober`` callable.
+
+A prober maps ``(resource_id, attempt)`` to an outcome object exposing
+``.ok`` (the runtime passes :meth:`OriginServer.try_probe`; the simulator
+passes a closure over a :class:`~repro.faults.model.FaultInjector`).
+This module imports neither, on purpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.timeline import Chronon
+from repro.faults.breaker import CircuitBreaker, RetryConfig
+
+__all__ = ["ProbeRound", "execute_probes"]
+
+#: (resource_id, attempt) -> outcome with an ``ok`` attribute.
+Prober = Callable[[int, int], Any]
+
+
+@dataclass(slots=True)
+class ProbeRound:
+    """Accounting of one chronon's probe execution.
+
+    Attributes
+    ----------
+    outcomes:
+        Final successful outcome per resource (first ok attempt wins).
+    failed:
+        Resources that stayed failed after all retries, in decision
+        order.
+    attempts:
+        Total requests sent (budget consumed this chronon).
+    failures:
+        Non-ok attempts (failed + throttled), including failed retries.
+    retries:
+        Attempts beyond the first per resource.
+    """
+
+    outcomes: dict[int, Any] = field(default_factory=dict)
+    failed: list[int] = field(default_factory=list)
+    attempts: int = 0
+    failures: int = 0
+    retries: int = 0
+
+
+def execute_probes(decisions: Sequence[Any], chronon: Chronon,
+                   budget: int, prober: Prober,
+                   retry: RetryConfig | None = None,
+                   breaker: CircuitBreaker | None = None) -> ProbeRound:
+    """Execute one chronon's probe decisions against a prober.
+
+    Each decision's first attempt has already been paid for by
+    :func:`~repro.online.base.select_probes` (which returned at most
+    ``budget`` decisions); retries of failed probes spend the budget left
+    over after those selections, in decision order, up to
+    ``retry.max_retries`` per resource. Failures and successes feed the
+    breaker, and a resource whose breaker trips mid-chronon gets no
+    further retries.
+    """
+    round_ = ProbeRound()
+    budget_left = budget - len(decisions)
+    first_failures: list[int] = []
+    for decision in decisions:
+        resource_id = decision.resource_id
+        round_.attempts += 1
+        outcome = prober(resource_id, 0)
+        if outcome.ok:
+            round_.outcomes[resource_id] = outcome
+            if breaker is not None:
+                breaker.record_success(resource_id)
+        else:
+            round_.failures += 1
+            first_failures.append(resource_id)
+            if breaker is not None:
+                breaker.record_failure(resource_id, chronon)
+
+    max_retries = retry.max_retries if retry is not None else 0
+    for resource_id in first_failures:
+        recovered = False
+        for attempt in range(1, max_retries + 1):
+            if budget_left <= 0:
+                break
+            if breaker is not None and breaker.is_blocked(resource_id,
+                                                          chronon):
+                break
+            budget_left -= 1
+            round_.attempts += 1
+            round_.retries += 1
+            outcome = prober(resource_id, attempt)
+            if outcome.ok:
+                round_.outcomes[resource_id] = outcome
+                if breaker is not None:
+                    breaker.record_success(resource_id)
+                recovered = True
+                break
+            round_.failures += 1
+            if breaker is not None:
+                breaker.record_failure(resource_id, chronon)
+        if not recovered:
+            round_.failed.append(resource_id)
+    return round_

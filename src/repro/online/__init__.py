@@ -7,6 +7,7 @@ from repro.online.base import (
     ProbeDecision,
     TIntervalState,
     apply_probes,
+    filter_blocked,
     select_probes,
 )
 from repro.online.baselines import (
@@ -48,5 +49,6 @@ __all__ = [
     "mrsf_value",
     "parse_policy_spec",
     "s_edf_value",
+    "filter_blocked",
     "select_probes",
 ]

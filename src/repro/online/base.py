@@ -33,6 +33,7 @@ __all__ = [
     "Policy",
     "PolicyLevel",
     "TIntervalState",
+    "filter_blocked",
     "select_probes",
 ]
 
@@ -139,6 +140,21 @@ class Policy(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"
+
+
+def filter_blocked(candidates: Sequence[Candidate], breaker,
+                   chronon: Chronon) -> Sequence[Candidate]:
+    """Drop candidates whose resource a circuit breaker has quarantined.
+
+    ``breaker`` is duck-typed (anything with ``is_blocked(resource_id,
+    chronon)``, see :class:`repro.faults.CircuitBreaker`); ``None``
+    returns the candidates unchanged. Shared by the simulator and the
+    runtime proxy so both starve quarantined resources identically.
+    """
+    if breaker is None:
+        return candidates
+    return [candidate for candidate in candidates
+            if not breaker.is_blocked(candidate.ei.resource_id, chronon)]
 
 
 def _tie_break(candidate: Candidate, chronon: Chronon

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from repro.core.errors import ModelError
 from repro.core.timeline import Chronon
-from repro.runtime.server import OriginServer, Snapshot
+from repro.runtime.server import OriginServer, ProbeOutcome, Snapshot
 from repro.traces.events import UpdateEvent
 
 __all__ = ["ServerFleet"]
@@ -104,6 +104,17 @@ class ServerFleet:
         owner = self.owner_of(resource_id)
         self._probe_counts[owner] += 1
         return self._servers[owner].probe(resource_id)
+
+    def try_probe(self, resource_id: int,
+                  attempt: int = 0) -> ProbeOutcome:
+        """Probe the owning server through its fault-aware surface.
+
+        Members wrapped in :class:`~repro.faults.UnreliableServer` keep
+        their fault behaviour; reliable members always answer.
+        """
+        owner = self.owner_of(resource_id)
+        self._probe_counts[owner] += 1
+        return self._servers[owner].try_probe(resource_id, attempt=attempt)
 
     def probe_counts(self) -> dict[str, int]:
         """Probes routed to each member server so far (per-provider

@@ -28,11 +28,15 @@ from repro.online.base import (
     Candidate,
     Policy,
     TIntervalState,
+    filter_blocked,
     select_probes,
 )
 from repro.online.baselines import CoveragePolicy
 from repro.runtime.clients import Client, Notification
-from repro.runtime.server import OriginServer, Snapshot
+from repro.runtime.server import PROBE_OK, OriginServer, ProbeOutcome, \
+    Snapshot
+from repro.faults.breaker import CircuitBreaker, RetryConfig
+from repro.faults.engine import execute_probes
 
 __all__ = ["MonitoringProxy", "ProxyStats"]
 
@@ -56,6 +60,11 @@ class ProxyStats:
 
     Invariant (once the run has flushed):
     ``registered == completed + expired + dropped``.
+
+    ``probes_used`` counts *successful* probes (snapshots obtained);
+    ``probes_failed`` counts non-ok requests (drops, timeouts, outages,
+    throttles — including failed retries). Budget consumed so far is
+    their sum, exposed as :attr:`requests_sent`.
     """
 
     registered: int
@@ -64,6 +73,9 @@ class ProxyStats:
     dropped: int
     pending: int
     probes_used: int
+    probes_failed: int = 0
+    retries: int = 0
+    resources_quarantined: int = 0
 
     @property
     def completeness(self) -> float:
@@ -72,6 +84,11 @@ class ProxyStats:
         if resolved == 0:
             return 1.0
         return self.completed / resolved
+
+    @property
+    def requests_sent(self) -> int:
+        """Total pull requests issued (the budget actually consumed)."""
+        return self.probes_used + self.probes_failed
 
 
 class _Registration:
@@ -102,16 +119,33 @@ class MonitoringProxy:
         Online policy ranking candidate EIs.
     preemptive:
         Preemption mode (see the paper's §4.2.1).
+    retry:
+        In-chronon retry allowance for failed probes (spends leftover
+        budget); ``None`` disables retries.
+    breaker:
+        Circuit breaker quarantining persistently failing resources so
+        the policy stops burning budget on them; ``None`` disables.
+
+    Failed probes still consume the chronon's budget — ``C_j`` bounds
+    requests, not successes. With a reliable server and no breaker the
+    behaviour (schedule, notifications, stats) is identical to the
+    pre-fault-model proxy.
     """
 
     def __init__(self, server: OriginServer, epoch: Epoch,
                  budget: BudgetVector, policy: Policy,
-                 preemptive: bool = True) -> None:
+                 preemptive: bool = True,
+                 retry: RetryConfig | None = None,
+                 breaker: CircuitBreaker | None = None) -> None:
         self.server = server
         self.epoch = epoch
         self.budget = budget
         self.policy = policy
         self.preemptive = preemptive
+        self.retry = retry
+        self.breaker = breaker
+        self._probes_failed = 0
+        self._retries = 0
 
         self._clients: dict[int, Client] = {}
         self._registrations: dict[int, _Registration] = {}
@@ -218,7 +252,11 @@ class MonitoringProxy:
         still_pending: list[_RuntimeState] = []
         for state in self._pending:
             if not state.registration.active:
-                self._dropped += 1
+                # A doomed carcass was already counted as expired when
+                # its deadline passed; unregistering it later must not
+                # count it a second time as dropped.
+                if not state.doom_counted:
+                    self._dropped += 1
                 continue
             if state.is_complete:
                 continue  # already notified at capture time
@@ -246,6 +284,7 @@ class MonitoringProxy:
             if (not policy_sees_doom) or not state.is_expired(chronon)
             for ei in state.probeable_eis(chronon)
         ]
+        candidates = filter_blocked(candidates, self.breaker, chronon)
         if not candidates:
             return chronon
         if isinstance(self.policy, CoveragePolicy):
@@ -255,13 +294,21 @@ class MonitoringProxy:
         if not decisions:
             return chronon
 
+        round_ = execute_probes(decisions, chronon, budget_now,
+                                self._prober, retry=self.retry,
+                                breaker=self.breaker)
+        self._probes_failed += round_.failures
+        self._retries += round_.retries
         snapshots = {
-            decision.resource_id: self.server.probe(decision.resource_id)
-            for decision in decisions
+            resource_id: outcome.snapshot
+            for resource_id, outcome in round_.outcomes.items()
         }
         for decision in decisions:
-            self._schedule.add_probe(decision.resource_id, chronon)
+            # The selection is an investment whether or not the request
+            # came back: the t-interval is committed either way.
             decision.selected.state.committed = True
+            if decision.resource_id in snapshots:
+                self._schedule.add_probe(decision.resource_id, chronon)
 
         for candidate in candidates:
             ei = candidate.ei
@@ -288,9 +335,11 @@ class MonitoringProxy:
             # Flush: anything unresolved at the end of the epoch expired
             # (or was dropped by unregistration).
             for state in self._pending:
+                if state.doom_counted or state.is_complete:
+                    continue
                 if not state.registration.active:
                     self._dropped += 1
-                elif not state.is_complete and not state.doom_counted:
+                else:
                     self._expired += 1
             for states in self._arrivals.values():
                 for state in states:
@@ -301,6 +350,20 @@ class MonitoringProxy:
             self._arrivals.clear()
             self._pending = []
         return self.stats()
+
+    def _prober(self, resource_id: int, attempt: int) -> ProbeOutcome:
+        """One pull request against the server, as a probe outcome.
+
+        Servers exposing :meth:`try_probe` (the fault-aware surface) are
+        used directly; bare ``probe``-only servers (e.g. custom fleets)
+        are treated as always reliable.
+        """
+        try_probe = getattr(self.server, "try_probe", None)
+        if try_probe is not None:
+            return try_probe(resource_id, attempt=attempt)
+        return ProbeOutcome(
+            resource_id=resource_id, chronon=self._clock, status=PROBE_OK,
+            snapshot=self.server.probe(resource_id), attempt=attempt)
 
     def _notify(self, state: _RuntimeState, chronon: Chronon) -> None:
         self._completed += 1
@@ -326,6 +389,8 @@ class MonitoringProxy:
             if state.registration.active
             and not state.is_complete
             and not state.is_expired(self._clock))
+        quarantined = (self.breaker.quarantined_count
+                       if self.breaker is not None else 0)
         return ProxyStats(
             registered=self._registered_tintervals,
             completed=self._completed,
@@ -333,4 +398,7 @@ class MonitoringProxy:
             dropped=self._dropped,
             pending=pending,
             probes_used=len(self._schedule),
+            probes_failed=self._probes_failed,
+            retries=self._retries,
+            resources_quarantined=quarantined,
         )

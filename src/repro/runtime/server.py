@@ -19,7 +19,23 @@ from repro.core.errors import ModelError
 from repro.core.timeline import Chronon
 from repro.traces.events import UpdateEvent, UpdateTrace
 
-__all__ = ["Snapshot", "OriginServer"]
+__all__ = [
+    "PROBE_FAILED",
+    "PROBE_OK",
+    "PROBE_THROTTLED",
+    "OriginServer",
+    "ProbeOutcome",
+    "Snapshot",
+]
+
+#: Probe outcome statuses. A *failed* probe got no answer (drop, timeout,
+#: outage); a *throttled* one was refused by server-side rate limiting.
+#: Both consume the proxy's per-chronon budget — the paper's ``C_j`` is a
+#: request budget, not a success budget.
+ProbeStatus = str
+PROBE_OK: ProbeStatus = "ok"
+PROBE_FAILED: ProbeStatus = "failed"
+PROBE_THROTTLED: ProbeStatus = "throttled"
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,8 +65,53 @@ class Snapshot:
 
     @property
     def is_fresh(self) -> bool:
-        """True when the observed value was written at the probe chronon."""
-        return self.updated_at == self.probed_at
+        """True when the observed value was written at the probe chronon.
+
+        A never-updated resource (``version == 0``) is not fresh: its
+        ``updated_at`` placeholder of 0 would otherwise spuriously match a
+        probe at chronon 0.
+        """
+        return self.version > 0 and self.updated_at == self.probed_at
+
+
+@dataclass(frozen=True, slots=True)
+class ProbeOutcome:
+    """The result of one pull request against a (possibly flaky) server.
+
+    Attributes
+    ----------
+    resource_id:
+        The probed resource.
+    chronon:
+        Server clock at probe time.
+    status:
+        One of :data:`PROBE_OK`, :data:`PROBE_FAILED`,
+        :data:`PROBE_THROTTLED`.
+    snapshot:
+        The observed state (``None`` unless ``status == "ok"``).
+    fault:
+        Short fault tag for non-ok / degraded outcomes
+        (``"drop"``, ``"timeout"``, ``"outage"``, ``"rate-limit"``,
+        ``"stale"``) or ``None``.
+    stale:
+        True when the snapshot was served from a lagging replica (the
+        probe "succeeded" but observed an old state).
+    attempt:
+        0 for the first request of a chronon, 1+ for in-chronon retries.
+    """
+
+    resource_id: int
+    chronon: Chronon
+    status: ProbeStatus
+    snapshot: Snapshot | None = None
+    fault: str | None = None
+    stale: bool = False
+    attempt: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when a snapshot was obtained (even a stale one)."""
+        return self.status == PROBE_OK
 
 
 class OriginServer:
@@ -134,6 +195,21 @@ class OriginServer:
             version=self._version.get(resource_id, 0),
             updated_at=self._updated_at.get(resource_id, 0),
             value=self._value.get(resource_id, ""),
+        )
+
+    def try_probe(self, resource_id: int, attempt: int = 0) -> ProbeOutcome:
+        """Probe with an explicit outcome; a reliable server always answers.
+
+        Fault-injecting servers (:class:`repro.faults.UnreliableServer`)
+        override this to fail, throttle, or serve stale state; the proxy's
+        probe path is written against this interface.
+        """
+        return ProbeOutcome(
+            resource_id=resource_id,
+            chronon=self._clock,
+            status=PROBE_OK,
+            snapshot=self.probe(resource_id),
+            attempt=attempt,
         )
 
     def version_of(self, resource_id: int) -> int:

@@ -25,12 +25,16 @@ from repro.core.completeness import CompletenessReport
 from repro.core.profile import ProfileSet
 from repro.core.schedule import Schedule
 from repro.core.timeline import Epoch
+from repro.faults.breaker import CircuitBreaker, RetryConfig
+from repro.faults.engine import execute_probes
+from repro.faults.model import OK_DECISION, FaultInjector, FaultSpec
 from repro.online.base import (
     EI_LEVEL,
     Candidate,
     Policy,
     TIntervalState,
     apply_probes,
+    filter_blocked,
     select_probes,
 )
 from repro.online.baselines import CoveragePolicy
@@ -60,18 +64,36 @@ class ProxySimulator:
         to :class:`TIntervalState`. Extensions (e.g. quota-based partial
         capture, see :mod:`repro.extensions.partial`) substitute richer
         states here.
+    faults:
+        Fault model applied to probes: a :class:`FaultSpec`, an explicit
+        injector (e.g. ``trace.replay()``), or ``None`` for a reliable
+        source. Failed probes consume budget without capturing.
+    retry:
+        In-chronon retry allowance for failed probes, spending leftover
+        budget; ``None`` disables retries.
+    breaker:
+        Circuit breaker quarantining persistently failing resources;
+        ``None`` disables.
     """
 
     def __init__(self, profiles: ProfileSet, epoch: Epoch,
                  budget: BudgetVector, policy: Policy,
                  preemptive: bool = True,
-                 state_factory=TIntervalState) -> None:
+                 state_factory=TIntervalState,
+                 faults: FaultSpec | None = None,
+                 retry: RetryConfig | None = None,
+                 breaker: CircuitBreaker | None = None) -> None:
         self.profiles = profiles
         self.epoch = epoch
         self.budget = budget
         self.policy = policy
         self.preemptive = preemptive
         self.state_factory = state_factory
+        if isinstance(faults, FaultSpec):
+            faults = FaultInjector(faults, record=False)
+        self.injector = faults
+        self.retry = retry
+        self.breaker = breaker
 
     def run(self) -> SimulationResult:
         """Execute the full epoch and return the run's result."""
@@ -99,8 +121,15 @@ class ProxySimulator:
         # skip them.
         policy_sees_doom = self.policy.level != EI_LEVEL
         doomed_counted: set[tuple[int, int]] = set()
+        fault_aware = (self.injector is not None
+                       or self.breaker is not None
+                       or self.retry is not None)
+        probes_failed = 0
+        retries = 0
 
         for chronon in self.epoch:
+            if self.injector is not None:
+                self.injector.begin_chronon(chronon)
             active.extend(arrivals.get(chronon, ()))
 
             # Retire completed t-intervals and those with no probeable
@@ -137,15 +166,34 @@ class ProxySimulator:
                 or not state.is_expired(chronon)
                 for ei in state.probeable_eis(chronon)
             ]
+            candidates = filter_blocked(candidates, self.breaker, chronon)
             if not candidates:
                 continue
             if isinstance(self.policy, CoveragePolicy):
                 self.policy.observe_candidates(candidates, chronon)
             decisions = select_probes(self.policy, candidates, chronon,
                                       budget_now, self.preemptive)
+            if not fault_aware:
+                for decision in decisions:
+                    schedule.add_probe(decision.resource_id, chronon)
+                apply_probes(decisions, candidates, chronon)
+                continue
+
+            round_ = execute_probes(
+                decisions, chronon, budget_now, self._prober(chronon),
+                retry=self.retry, breaker=self.breaker)
+            probes_failed += round_.failures
+            retries += round_.retries
+            ok_decisions = [decision for decision in decisions
+                            if decision.resource_id in round_.outcomes]
             for decision in decisions:
+                # Selection commits the t-interval even when the request
+                # fails — the proxy spent budget on it (mirrors the
+                # runtime proxy exactly).
+                decision.selected.state.committed = True
+            for decision in ok_decisions:
                 schedule.add_probe(decision.resource_id, chronon)
-            apply_probes(decisions, candidates, chronon)
+            apply_probes(ok_decisions, candidates, chronon)
 
         # Epoch over: flush what is left in the active set.
         for state in active:
@@ -170,7 +218,19 @@ class ProxySimulator:
             probes_used=len(schedule),
             expired=expired_total,
             runtime_seconds=runtime,
+            probes_failed=probes_failed,
+            retries=retries,
+            resources_quarantined=(self.breaker.quarantined_count
+                                   if self.breaker is not None else 0),
         )
+
+    def _prober(self, chronon: int):
+        """A prober over the fault injector (always ok without one)."""
+        injector = self.injector
+        if injector is None:
+            return lambda resource_id, attempt: OK_DECISION
+        return (lambda resource_id, attempt:
+                injector.decide(resource_id, chronon, attempt))
 
     def _arrival_index(self) -> dict[int, list[TIntervalState]]:
         """t-intervals bucketed by their arrival chronon."""
@@ -199,7 +259,11 @@ class ProxySimulator:
 
 
 def run_online(profiles: ProfileSet, epoch: Epoch, budget: BudgetVector,
-               policy: Policy, preemptive: bool = True) -> SimulationResult:
+               policy: Policy, preemptive: bool = True,
+               faults: FaultSpec | None = None,
+               retry: RetryConfig | None = None,
+               breaker: CircuitBreaker | None = None) -> SimulationResult:
     """One-call convenience wrapper around :class:`ProxySimulator`."""
     return ProxySimulator(profiles, epoch, budget, policy,
-                          preemptive=preemptive).run()
+                          preemptive=preemptive, faults=faults,
+                          retry=retry, breaker=breaker).run()

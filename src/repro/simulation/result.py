@@ -31,6 +31,13 @@ class SimulationResult:
     runtime_seconds:
         Wall-clock time spent deciding/solving (excludes workload
         generation).
+    probes_failed:
+        Pull requests that got no snapshot (drops, timeouts, outages,
+        throttles — including failed retries); 0 for reliable runs.
+    retries:
+        In-chronon retry attempts issued after failed probes.
+    resources_quarantined:
+        Distinct resources the circuit breaker ever quarantined.
     extras:
         Free-form diagnostic counters.
     """
@@ -41,6 +48,9 @@ class SimulationResult:
     probes_used: int
     expired: int = 0
     runtime_seconds: float = 0.0
+    probes_failed: int = 0
+    retries: int = 0
+    resources_quarantined: int = 0
     extras: dict[str, float] = field(default_factory=dict)
 
     @property
@@ -50,7 +60,12 @@ class SimulationResult:
 
     def summary(self) -> str:
         """One-line human-readable summary."""
-        return (f"{self.label}: GC={self.gc:.4f} "
+        text = (f"{self.label}: GC={self.gc:.4f} "
                 f"({self.report.captured}/{self.report.total}), "
                 f"probes={self.probes_used}, expired={self.expired}, "
                 f"runtime={self.runtime_seconds:.3f}s")
+        if self.probes_failed or self.retries or self.resources_quarantined:
+            text += (f", failed={self.probes_failed}, "
+                     f"retries={self.retries}, "
+                     f"quarantined={self.resources_quarantined}")
+        return text

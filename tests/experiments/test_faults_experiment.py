@@ -1,0 +1,78 @@
+"""Tests for the graceful-degradation experiment and its CLI entry."""
+
+from repro.cli import build_parser, main
+from repro.experiments import (
+    DEFAULT_FAILURE_RATES,
+    FAULT_POLICY_VARIANTS,
+    breaker_ablation,
+    fault_sweep,
+    run_fault_setting,
+)
+from repro.experiments.config import baseline
+from repro.faults import RetryConfig
+
+
+class TestFaultSweep:
+    def test_all_variants_survive_to_rate_half(self):
+        result = fault_sweep(scale="smoke", rates=(0.0, 0.5))
+        assert result.name == "faults"
+        assert result.parameter == "failure_rate"
+        assert result.x_values == (0.0, 0.5)
+        assert set(result.labels()) == set(FAULT_POLICY_VARIANTS)
+        for label in FAULT_POLICY_VARIANTS:
+            series = result.series(label)
+            assert len(series) == 2
+            # GC degrades with the failure rate but never collapses to
+            # zero at rate 0.5 (retries recover part of the loss).
+            assert series[0] > series[1] > 0.0
+
+    def test_sweep_is_deterministic(self):
+        kwargs = dict(scale="smoke", rates=(0.3,),
+                      policies=("S-EDF(P)", "MRSF(NP)"))
+        one = fault_sweep(**kwargs)
+        two = fault_sweep(**kwargs)
+        assert one.series("S-EDF(P)") == two.series("S-EDF(P)")
+        assert one.series("MRSF(NP)") == two.series("MRSF(NP)")
+
+    def test_policies_share_the_fault_world(self):
+        config = baseline("smoke")
+        outcome = run_fault_setting(config, 0.0,
+                                    policies=("S-EDF(P)",),
+                                    retry=None, use_breaker=False)
+        clean = run_fault_setting(config, 0.0,
+                                  policies=("S-EDF(P)",),
+                                  retry=RetryConfig(2), use_breaker=True)
+        # At rate zero neither retries nor the breaker may change GC.
+        assert outcome.outcomes["S-EDF(P)"].mean_gc == \
+            clean.outcomes["S-EDF(P)"].mean_gc
+
+
+class TestBreakerAblation:
+    def test_breaker_at_least_as_good(self):
+        gc = breaker_ablation(scale="smoke")
+        assert set(gc) == {"with_breaker", "without_breaker"}
+        assert gc["with_breaker"] >= gc["without_breaker"]
+        assert gc["without_breaker"] > 0.0
+
+
+class TestFaultsCli:
+    def test_parser_accepts_faults(self):
+        args = build_parser().parse_args(["faults", "--scale", "smoke"])
+        assert args.experiment == "faults"
+
+    def test_faults_smoke_table(self, capsys):
+        assert main(["faults", "--scale", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "failure_rate" in output
+        assert "S-EDF(P)" in output
+        assert "COVERAGE(NP)" in output
+
+    def test_faults_smoke_csv(self, capsys):
+        assert main(["faults", "--scale", "smoke", "--csv"]) == 0
+        output = capsys.readouterr().out
+        assert "failure_rate,S-EDF(P)" in output
+
+
+def test_default_rates_reach_one_half():
+    assert DEFAULT_FAILURE_RATES[0] == 0.0
+    assert DEFAULT_FAILURE_RATES[-1] == 0.5

@@ -1,0 +1,114 @@
+"""Property tests for the fault layer.
+
+The load-bearing invariant: no matter what fault schedule the origin
+server throws at the proxy — drops, outages, throttling, retries,
+breaker quarantines — and no matter when profiles are registered or
+unregistered, the flushed accounting always satisfies
+``registered == completed + expired + dropped``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BudgetVector, Profile, TInterval
+from repro.faults import (
+    CircuitBreaker,
+    FaultSpec,
+    Outage,
+    RetryConfig,
+    UnreliableServer,
+)
+from repro.online import MEDFPolicy, MRSFPolicy, SEDFPolicy
+from repro.runtime import MonitoringProxy, OriginServer
+from repro.traces import UpdateTrace
+
+from tests.properties.strategies import NUM_RESOURCES, epoch, profile_sets
+
+POLICIES = [SEDFPolicy, MRSFPolicy, MEDFPolicy]
+
+
+@st.composite
+def fault_specs(draw) -> FaultSpec:
+    outages = []
+    for _ in range(draw(st.integers(0, 2))):
+        resource_id = draw(st.integers(0, NUM_RESOURCES - 1))
+        start = draw(st.integers(0, 12))
+        permanent = draw(st.booleans())
+        last = None if permanent else start + draw(st.integers(0, 6))
+        outages.append(Outage(resource_id, start, last))
+    return FaultSpec(
+        failure_probability=draw(st.floats(0.0, 0.9)),
+        timeout_probability=draw(st.floats(0.0, 0.3)),
+        stale_probability=draw(st.floats(0.0, 0.5)),
+        stale_lag=draw(st.integers(0, 3)),
+        outages=tuple(outages),
+        max_probes_per_chronon=draw(
+            st.one_of(st.none(), st.integers(1, 3))),
+        seed=draw(st.integers(0, 2**16)),
+    )
+
+
+def _bare_copy(profiles):
+    return [Profile([TInterval(eta.eis) for eta in profile],
+                    name=profile.name)
+            for profile in profiles]
+
+
+class TestFlushInvariantUnderFaults:
+    @given(profiles=profile_sets(), spec=fault_specs(),
+           policy_index=st.integers(0, 2), budget=st.integers(1, 3),
+           use_retry=st.booleans(), use_breaker=st.booleans(),
+           unregister_mask=st.integers(0, 7),
+           unregister_at=st.integers(1, 15))
+    @settings(max_examples=60, deadline=None)
+    def test_registered_equals_completed_expired_dropped(
+            self, profiles, spec, policy_index, budget, use_retry,
+            use_breaker, unregister_mask, unregister_at):
+        server = UnreliableServer(
+            OriginServer(UpdateTrace([], epoch())), spec)
+        proxy = MonitoringProxy(
+            server, epoch(), BudgetVector(budget),
+            POLICIES[policy_index](),
+            retry=RetryConfig(1) if use_retry else None,
+            breaker=CircuitBreaker(failure_threshold=2, cooldown=3)
+            if use_breaker else None)
+        client = proxy.register_client()
+        profile_ids = [proxy.register_profile(client, profile)
+                       for profile in _bare_copy(profiles)]
+
+        # Drive the run manually, unregistering a mask-selected subset
+        # of the profiles mid-epoch.
+        while proxy.clock < epoch().last:
+            chronon = proxy.step()
+            if chronon == unregister_at:
+                for index, profile_id in enumerate(profile_ids):
+                    if unregister_mask & (1 << index):
+                        proxy.unregister_profile(profile_id)
+        stats = proxy.run()
+
+        assert stats.registered == \
+            stats.completed + stats.expired + stats.dropped
+        assert stats.pending == 0
+        # Notifications agree with completions, and the schedule only
+        # holds successful probes.
+        assert len(client.mailbox) == stats.completed
+        assert stats.probes_used == len(proxy.schedule)
+
+    @given(profiles=profile_sets(), spec=fault_specs(),
+           policy_index=st.integers(0, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_faulty_runs_are_reproducible(self, profiles, spec,
+                                          policy_index):
+        def run_once():
+            server = UnreliableServer(
+                OriginServer(UpdateTrace([], epoch())), spec)
+            proxy = MonitoringProxy(server, epoch(), BudgetVector(1),
+                                    POLICIES[policy_index](),
+                                    retry=RetryConfig(1))
+            client = proxy.register_client()
+            for profile in _bare_copy(profiles):
+                proxy.register_profile(client, profile)
+            stats = proxy.run()
+            return (stats, sorted(proxy.schedule.probes()))
+
+        assert run_once() == run_once()

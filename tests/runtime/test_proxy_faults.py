@@ -1,0 +1,184 @@
+"""The proxy runtime under unreliable origin servers.
+
+Covers the acceptance properties of the fault-injection layer:
+
+* a null-fault :class:`UnreliableServer` run is indistinguishable from an
+  :class:`OriginServer` run (same schedule, stats, notifications);
+* two faulty runs with the same seed are identical;
+* failed probes consume budget without capturing, retries spend leftover
+  budget, and the circuit breaker demonstrably saves budget under a
+  permanent outage;
+* the flush invariant ``registered == completed + expired + dropped``
+  survives faults.
+"""
+
+import pytest
+
+from repro.core import (
+    BudgetVector,
+    Epoch,
+    ExecutionInterval,
+    Profile,
+    TInterval,
+)
+from repro.faults import (
+    CircuitBreaker,
+    FaultSpec,
+    Outage,
+    RetryConfig,
+    UnreliableServer,
+)
+from repro.online import MEDFPolicy, SEDFPolicy
+from repro.runtime import MonitoringProxy, OriginServer
+from repro.traces import UpdateEvent, UpdateTrace
+
+EPOCH = Epoch(30)
+
+
+def make_trace() -> UpdateTrace:
+    events = [UpdateEvent(chronon, resource_id, f"v{chronon}")
+              for chronon in range(2, 28, 5)
+              for resource_id in range(4)]
+    return UpdateTrace(events, EPOCH)
+
+
+def make_profiles() -> list[Profile]:
+    profiles = []
+    for start in (1, 6, 11, 16, 21):
+        for resource_id in range(4):
+            profiles.append(Profile([TInterval(
+                [ExecutionInterval(resource_id, start, start + 4)])]))
+    return profiles
+
+
+def run_proxy(server, policy=None, retry=None, breaker=None,
+              budget: int = 1):
+    proxy = MonitoringProxy(server, EPOCH, BudgetVector(budget),
+                            policy or SEDFPolicy(), retry=retry,
+                            breaker=breaker)
+    client = proxy.register_client("c")
+    for profile in make_profiles():
+        proxy.register_profile(client, profile)
+    stats = proxy.run()
+    return proxy, client, stats
+
+
+def probe_set(proxy):
+    return sorted(proxy.schedule.probes())
+
+
+class TestNullFaultIdentity:
+    def test_wrapped_run_identical_to_bare_run(self):
+        bare_proxy, bare_client, bare_stats = run_proxy(
+            OriginServer(make_trace()))
+        wrapped_proxy, wrapped_client, wrapped_stats = run_proxy(
+            UnreliableServer(OriginServer(make_trace())))
+
+        assert probe_set(wrapped_proxy) == probe_set(bare_proxy)
+        assert wrapped_stats == bare_stats
+        assert wrapped_stats.probes_failed == 0
+        assert wrapped_stats.retries == 0
+        bare_mail = [(n.profile_id, n.completed_at,
+                      tuple(s.value for s in n.snapshots))
+                     for n in bare_client.mailbox]
+        wrapped_mail = [(n.profile_id, n.completed_at,
+                         tuple(s.value for s in n.snapshots))
+                        for n in wrapped_client.mailbox]
+        assert wrapped_mail == bare_mail
+
+    def test_zero_rate_spec_identical_too(self):
+        _, _, bare_stats = run_proxy(OriginServer(make_trace()))
+        _, _, spec_stats = run_proxy(UnreliableServer(
+            OriginServer(make_trace()),
+            FaultSpec(failure_probability=0.0, seed=99)))
+        assert spec_stats == bare_stats
+
+
+class TestFaultyDeterminism:
+    @pytest.mark.parametrize("policy_factory", [SEDFPolicy, MEDFPolicy])
+    def test_same_seed_identical_runs(self, policy_factory):
+        spec = FaultSpec(failure_probability=0.35, seed=7)
+        one_proxy, one_client, one_stats = run_proxy(
+            UnreliableServer(OriginServer(make_trace()), spec),
+            policy=policy_factory(), retry=RetryConfig(1),
+            breaker=CircuitBreaker(failure_threshold=2, cooldown=3))
+        two_proxy, two_client, two_stats = run_proxy(
+            UnreliableServer(OriginServer(make_trace()), spec),
+            policy=policy_factory(), retry=RetryConfig(1),
+            breaker=CircuitBreaker(failure_threshold=2, cooldown=3))
+        assert one_stats == two_stats
+        assert probe_set(one_proxy) == probe_set(two_proxy)
+        assert len(one_client.mailbox) == len(two_client.mailbox)
+
+
+class TestBudgetAccounting:
+    def test_failed_probes_consume_budget_not_schedule(self):
+        spec = FaultSpec(outages=(Outage(0, 0, None),))
+        proxy, _, stats = run_proxy(
+            UnreliableServer(OriginServer(make_trace()), spec))
+        assert stats.probes_failed > 0
+        # Failed requests never enter the schedule...
+        assert stats.probes_used == len(proxy.schedule)
+        # ...but they do count toward the budget actually consumed.
+        assert stats.requests_sent == \
+            stats.probes_used + stats.probes_failed
+        assert stats.requests_sent <= EPOCH.length
+
+    def test_retries_spend_leftover_budget(self):
+        spec = FaultSpec(failure_probability=0.5, seed=3)
+        _, _, no_retry = run_proxy(
+            UnreliableServer(OriginServer(make_trace()), spec), budget=3)
+        _, _, with_retry = run_proxy(
+            UnreliableServer(OriginServer(make_trace()), spec), budget=3,
+            retry=RetryConfig(2))
+        assert no_retry.retries == 0
+        assert with_retry.retries > 0
+        # Recovered retries can only help completeness.
+        assert with_retry.completed >= no_retry.completed
+
+    def test_flush_invariant_under_faults(self):
+        spec = FaultSpec(failure_probability=0.4, seed=11)
+        _, _, stats = run_proxy(
+            UnreliableServer(OriginServer(make_trace()), spec),
+            retry=RetryConfig(1),
+            breaker=CircuitBreaker(failure_threshold=2, cooldown=4))
+        assert stats.registered == \
+            stats.completed + stats.expired + stats.dropped
+
+
+class TestCircuitBreaker:
+    def test_breaker_saves_budget_under_permanent_outage(self):
+        # Resource 0 is dead the whole epoch. Without a breaker S-EDF
+        # keeps burning its budget on it (resource 0 wins score ties);
+        # with a breaker the budget is redirected after two failures.
+        spec = FaultSpec(outages=(Outage(0, 0, None),))
+        _, _, without = run_proxy(
+            UnreliableServer(OriginServer(make_trace()), spec))
+        _, _, with_breaker = run_proxy(
+            UnreliableServer(OriginServer(make_trace()), spec),
+            breaker=CircuitBreaker(failure_threshold=2, cooldown=8))
+        assert with_breaker.resources_quarantined == 1
+        assert without.resources_quarantined == 0
+        assert with_breaker.probes_failed < without.probes_failed
+        assert with_breaker.completed > without.completed
+        assert with_breaker.completeness > without.completeness
+
+    def test_quarantine_releases_after_outage_ends(self):
+        spec = FaultSpec(outages=(Outage(0, 0, 10),))
+        proxy, _, stats = run_proxy(
+            UnreliableServer(OriginServer(make_trace()), spec),
+            breaker=CircuitBreaker(failure_threshold=2, cooldown=3))
+        # Probes of resource 0 succeed again after the outage window.
+        late_probes = [(resource_id, chronon)
+                       for resource_id, chronon in proxy.schedule.probes()
+                       if resource_id == 0 and chronon > 10]
+        assert late_probes
+        assert stats.resources_quarantined == 1
+
+
+class TestStaleReadsInNotifications:
+    def test_stale_snapshots_are_delivered(self):
+        spec = FaultSpec(stale_probability=1.0, stale_lag=3, seed=2)
+        _, client, stats = run_proxy(
+            UnreliableServer(OriginServer(make_trace()), spec))
+        assert stats.completed == len(client.mailbox) > 0

@@ -104,3 +104,91 @@ class TestPublish:
         server = OriginServer()
         server.advance_to(10)
         assert server.probe(0).version == 0
+
+
+class TestIsFresh:
+    def test_never_updated_resource_is_not_fresh_at_chronon_zero(self):
+        # Regression: updated_at == probed_at == 0 for a version-0
+        # resource used to spuriously report fresh.
+        server = OriginServer()
+        snapshot = server.probe(0)
+        assert snapshot.version == 0
+        assert snapshot.updated_at == snapshot.probed_at == 0
+        assert not snapshot.is_fresh
+
+    def test_never_updated_resource_is_not_fresh_later(self, server):
+        server.advance_to(5)
+        assert not server.probe(42).is_fresh
+
+    def test_fresh_when_updated_at_probe_chronon(self, server):
+        server.advance_to(3)
+        assert server.probe(0).is_fresh
+
+    def test_not_fresh_after_the_update_chronon(self, server):
+        server.advance_to(4)
+        assert not server.probe(0).is_fresh
+
+
+class TestPublishInterleavings:
+    def test_publish_between_advances(self, server):
+        server.advance_to(4)
+        server.publish(UpdateEvent(6, 2, "mid-run"))
+        server.advance_to(5)
+        assert server.probe(2).version == 0
+        server.advance_to(6)
+        snapshot = server.probe(2)
+        assert snapshot.value == "mid-run"
+        assert snapshot.version == 1
+
+    def test_out_of_order_publishes_apply_in_chronon_order(self, server):
+        server.advance_to(2)
+        server.publish(UpdateEvent(9, 3, "later"))
+        server.publish(UpdateEvent(6, 3, "sooner"))
+        applied = server.advance_to(20)
+        chronons = [event.chronon for event in applied]
+        assert chronons == sorted(chronons)
+        # "later" overwrites "sooner" — volatile history.
+        assert server.probe(3).value == "later"
+        assert server.version_of(3) == 2
+
+    def test_publish_interleaves_with_remaining_trace(self, server):
+        server.advance_to(4)
+        server.publish(UpdateEvent(6, 0, "wedge"))
+        server.advance_to(6)
+        assert server.probe(0).value == "wedge"
+        server.advance_to(7)
+        # The original trace event at chronon 7 still lands on top.
+        assert server.probe(0).value == "b"
+        assert server.version_of(0) == 3
+
+    def test_publish_at_current_clock_rejected(self, server):
+        server.advance_to(5)
+        with pytest.raises(ModelError, match="cannot publish"):
+            server.publish(UpdateEvent(5, 0, "now"))
+
+    def test_publish_into_past_rejected(self, server):
+        server.advance_to(8)
+        with pytest.raises(ModelError, match="cannot publish"):
+            server.publish(UpdateEvent(3, 0, "ancient"))
+
+    def test_publish_after_advance_to_same_chronon_twice(self, server):
+        server.advance_to(5)
+        server.advance_to(5)
+        server.publish(UpdateEvent(6, 4, "ok"))
+        server.advance_to(6)
+        assert server.probe(4).value == "ok"
+
+
+class TestTryProbe:
+    def test_reliable_server_always_answers(self, server):
+        server.advance_to(5)
+        outcome = server.try_probe(0)
+        assert outcome.ok
+        assert outcome.status == "ok"
+        assert outcome.snapshot == server.probe(0)
+        assert outcome.fault is None
+        assert not outcome.stale
+
+    def test_attempt_is_echoed(self, server):
+        outcome = server.try_probe(0, attempt=2)
+        assert outcome.attempt == 2
