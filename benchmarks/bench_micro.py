@@ -33,8 +33,11 @@ def instance():
     return make_instance(_CONFIG, 0)
 
 
-@pytest.fixture(scope="module")
+@pytest.fixture
 def candidates(instance):
+    # Function-scoped on purpose: benchmarked code mutates the states
+    # (e.g. committing them during selection), so sharing one candidate
+    # list across benches would contaminate later rounds.
     _trace, profiles = instance
     result: list[Candidate] = []
     for profile in profiles:

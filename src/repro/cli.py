@@ -11,6 +11,7 @@ tables (optionally CSV). Examples::
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 from typing import Callable
 
@@ -114,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit CSV series instead of ASCII tables",
     )
     parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run (setting, repetition) cells in a process pool of N "
+             "workers (default: serial); results are identical to the "
+             "serial path",
+    )
+    parser.add_argument(
         "--output", metavar="DIR", default=None,
         help="also write CSV series and text tables into DIR",
     )
@@ -142,7 +149,11 @@ def main(argv: list[str] | None = None) -> int:
         else [args.experiment]
     for name in names:
         runner = _EXPERIMENTS[name]
-        result = runner(args.scale)
+        if args.workers and "workers" in \
+                inspect.signature(runner).parameters:
+            result = runner(args.scale, workers=args.workers)
+        else:
+            result = runner(args.scale)
         _print_result(name, result, args.csv)
         if args.output:
             from repro.experiments.export import export_result

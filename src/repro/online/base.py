@@ -21,6 +21,7 @@ Scores are *lower-is-better*; ties break deterministically on
 
 from __future__ import annotations
 
+import heapq
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Iterable, Sequence
@@ -50,15 +51,30 @@ class TIntervalState:
     Tracks which EIs are captured, whether the t-interval was ever selected
     by the policy (``committed`` — drives non-preemptive behaviour), and
     caches the owning profile's rank (the MRSF score needs it).
+
+    Capture progress is tracked with counters and a lazily advanced
+    earliest-uncaptured-deadline cursor, so ``captured_count``,
+    ``is_complete`` and ``is_expired`` are O(1) (amortized) instead of
+    scanning ``eta`` — these run once per state per chronon in the
+    simulator's hot loop. The invariant is that every capture goes through
+    :meth:`mark_captured`; writing ``captured[i]`` directly desyncs the
+    counters.
     """
 
-    __slots__ = ("eta", "profile_rank", "captured", "committed")
+    __slots__ = ("eta", "profile_rank", "captured", "committed",
+                 "_captured_count", "_deadline_order", "_deadline_pos")
 
     def __init__(self, eta: TInterval, profile_rank: int) -> None:
         self.eta = eta
         self.profile_rank = profile_rank
         self.captured = [False] * len(eta)
         self.committed = False
+        self._captured_count = 0
+        # EIs ordered by deadline; the cursor skips captured ones lazily.
+        # Built on first expiry query — many t-intervals complete without
+        # ever being asked for their earliest uncaptured deadline.
+        self._deadline_order: list[int] | None = None
+        self._deadline_pos = 0
 
     @property
     def key(self) -> tuple[int, int]:
@@ -68,17 +84,34 @@ class TIntervalState:
     @property
     def captured_count(self) -> int:
         """Number of already-captured EIs (``sum I(I', S)`` over siblings)."""
-        return sum(self.captured)
+        return self._captured_count
 
     @property
     def residual(self) -> int:
         """Number of EIs still to capture."""
-        return len(self.captured) - self.captured_count
+        return len(self.captured) - self._captured_count
 
     @property
     def is_complete(self) -> bool:
         """True when every EI has been captured (the t-interval counts)."""
-        return all(self.captured)
+        return self._captured_count == len(self.captured)
+
+    @property
+    def earliest_uncaptured_deadline(self) -> Chronon | None:
+        """Smallest ``finish`` over uncaptured EIs; None when complete."""
+        order = self._deadline_order
+        if order is None:
+            eta = self.eta
+            order = self._deadline_order = sorted(
+                range(len(eta)), key=lambda i: eta[i].finish)
+        pos = self._deadline_pos
+        captured = self.captured
+        while pos < len(order) and captured[order[pos]]:
+            pos += 1
+        self._deadline_pos = pos
+        if pos == len(order):
+            return None
+        return self.eta[order[pos]].finish
 
     def is_expired(self, chronon: Chronon) -> bool:
         """True when some uncaptured EI's deadline has passed.
@@ -86,10 +119,8 @@ class TIntervalState:
         An expired t-interval can never complete and is dropped from the
         candidate set (it still counts in the GC denominator).
         """
-        return any(
-            not self.captured[ei.ei_id] and ei.expired_at(chronon)
-            for ei in self.eta
-        )
+        deadline = self.earliest_uncaptured_deadline
+        return deadline is not None and chronon > deadline
 
     def uncaptured_eis(self) -> list[ExecutionInterval]:
         """EIs not yet captured, in declaration order."""
@@ -101,8 +132,10 @@ class TIntervalState:
                 if not self.captured[ei.ei_id] and ei.active_at(chronon)]
 
     def mark_captured(self, ei_id: int) -> None:
-        """Record the capture of one EI."""
-        self.captured[ei_id] = True
+        """Record the capture of one EI (idempotent)."""
+        if not self.captured[ei_id]:
+            self.captured[ei_id] = True
+            self._captured_count += 1
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"TIntervalState(key={self.key}, "
@@ -134,6 +167,17 @@ class Policy(ABC):
     def score(self, candidate: Candidate, chronon: Chronon) -> float:
         """Priority of probing this candidate now; lower is better."""
 
+    def observe_candidates(self, candidates: Sequence[Candidate],
+                           chronon: Chronon) -> None:
+        """Hook called once per chronon with the full candidate bag.
+
+        The default is a no-op; stateful policies (e.g.
+        :class:`~repro.online.baselines.CoveragePolicy`) override it to
+        precompute per-chronon aggregates before :meth:`score` is asked
+        about individual candidates. Both proxies call this right before
+        selection, so custom policies need no simulator changes.
+        """
+
     def label(self, preemptive: bool) -> str:
         """Display name with the paper's (P)/(NP) suffix convention."""
         return f"{self.name}({'P' if preemptive else 'NP'})"
@@ -153,8 +197,16 @@ def filter_blocked(candidates: Sequence[Candidate], breaker,
     """
     if breaker is None:
         return candidates
+    # Probe the breaker once per distinct resource; with nothing blocked
+    # (the common healthy case) the input sequence is returned as-is,
+    # avoiding a per-chronon list re-allocation.
+    blocked = {resource_id
+               for resource_id in {c.ei.resource_id for c in candidates}
+               if breaker.is_blocked(resource_id, chronon)}
+    if not blocked:
+        return candidates
     return [candidate for candidate in candidates
-            if not breaker.is_blocked(candidate.ei.resource_id, chronon)]
+            if candidate.ei.resource_id not in blocked]
 
 
 def _tie_break(candidate: Candidate, chronon: Chronon
@@ -226,8 +278,14 @@ def select_probes(policy: Policy, candidates: Sequence[Candidate],
             resource_id: min(entries, key=lambda entry: entry[:-1])
             for resource_id, entries in by_resource.items()
         }
-        ranked = sorted(
-            by_resource,
+        # Only the best `budget` resources can win (plus room for those
+        # already chosen by the previous pool), so an O(R log budget)
+        # partial selection replaces the full sort. heapq.nsmallest is
+        # documented as equivalent to sorted(...)[:n], so ranking is
+        # unchanged.
+        needed = budget - len(decisions) + len(chosen_set)
+        ranked = heapq.nsmallest(
+            needed, by_resource,
             key=lambda resource_id: (best_of[resource_id][0],
                                      best_of[resource_id][1],
                                      -len(by_resource[resource_id]),

@@ -31,7 +31,6 @@ from repro.online.base import (
     filter_blocked,
     select_probes,
 )
-from repro.online.baselines import CoveragePolicy
 from repro.runtime.clients import Client, Notification
 from repro.runtime.server import PROBE_OK, OriginServer, ProbeOutcome, \
     Snapshot
@@ -287,8 +286,7 @@ class MonitoringProxy:
         candidates = filter_blocked(candidates, self.breaker, chronon)
         if not candidates:
             return chronon
-        if isinstance(self.policy, CoveragePolicy):
-            self.policy.observe_candidates(candidates, chronon)
+        self.policy.observe_candidates(candidates, chronon)
         decisions = select_probes(self.policy, candidates, chronon,
                                   budget_now, self.preemptive)
         if not decisions:

@@ -1,6 +1,12 @@
 """Simulation environment: the online proxy loop and result types."""
 
+from repro.simulation.engine import FastProxySimulator
 from repro.simulation.proxy import ProxySimulator, run_online
 from repro.simulation.result import SimulationResult
 
-__all__ = ["ProxySimulator", "SimulationResult", "run_online"]
+__all__ = [
+    "FastProxySimulator",
+    "ProxySimulator",
+    "SimulationResult",
+    "run_online",
+]

@@ -1,0 +1,619 @@
+"""Event-indexed fast simulation engine.
+
+:class:`FastProxySimulator` computes exactly the same
+:class:`~repro.simulation.result.SimulationResult` as the reference
+:class:`~repro.simulation.proxy.ProxySimulator` — probe for probe,
+including under fault injection, retries and the circuit breaker — while
+replacing the reference's per-chronon rescans with incremental
+maintenance:
+
+* **Event queues** (built once at :meth:`run` entry) bucket every state
+  arrival, EI window opening (start) and EI window closing (expiry) by
+  chronon, so a chronon only touches what actually changed instead of
+  re-scanning the whole active set.
+* **A per-resource candidate index** maps each resource to its currently
+  probeable (state, EI) pairs, updated only on arrival, start, expiry,
+  capture and doom events. The reference's candidate bag at any chronon
+  is exactly: arrived, uncaptured, window open now, parent not complete,
+  and — for rank/multi-EI-level policies — parent not doomed; all five
+  conditions change only at events.
+* **Cached selection** for chronon-shift-invariant policies (S-EDF,
+  MRSF, FCFS, LFF, StaticRank, anti-MRSF, Coverage): each resource
+  caches its best candidate key in *absolute* form (deadline instead of
+  deadline-minus-chronon). Because every candidate's score shifts by the
+  same amount per chronon (or not at all), absolute keys rank resources
+  identically to the reference's relative keys, and a resource is
+  re-scored only when an event dirtied it. M-EDF scores change
+  non-uniformly across candidates, so it is re-scored every chronon —
+  but in O(1) per candidate via per-state aggregates instead of the
+  reference's O(rank) sum.
+
+Equivalence of tie-breaking: the reference resolves full score ties by
+candidate list position (``min`` keeps the first). The reference list is
+ordered by (arrival order, EI id), so extending the fast engine's min key
+with ``(seq, ei_id)`` — where ``seq`` numbers states in arrival order —
+reproduces the reference's choice exactly. Final accounting needs no
+per-chronon bookkeeping: a t-interval is counted captured iff it is
+complete when the epoch ends, expired otherwise, which is provably what
+the reference's retire/flush counting computes.
+
+Policies not recognised (e.g. :class:`RandomPolicy`, custom subclasses)
+fall back to a generic path that still benefits from the index: the flat
+candidate list is materialised from it in reference order and handed to
+:func:`~repro.online.base.select_probes`.
+
+Custom ``state_factory`` states are supported under the two contracts the
+provided states satisfy: ``is_complete`` may flip (to True) only on
+``mark_captured``, and ``is_expired`` may flip (to True) only when an
+uncaptured EI's deadline passes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import defaultdict
+
+from repro.core.budget import BudgetVector
+from repro.core.completeness import CompletenessReport
+from repro.core.profile import ProfileSet
+from repro.core.schedule import Schedule
+from repro.core.timeline import Chronon, Epoch
+from repro.faults.breaker import CircuitBreaker, RetryConfig
+from repro.faults.engine import execute_probes
+from repro.faults.model import OK_DECISION, FaultInjector, FaultSpec
+from repro.online.base import (
+    EI_LEVEL,
+    Candidate,
+    Policy,
+    ProbeDecision,
+    TIntervalState,
+    select_probes,
+)
+from repro.online.baselines import (
+    CoveragePolicy,
+    FCFSPolicy,
+    LeastFlexibleFirstPolicy,
+    MostResidualFirstPolicy,
+    StaticRankPolicy,
+)
+from repro.online.medf import MEDFPolicy
+from repro.online.mrsf import MRSFPolicy
+from repro.online.sedf import SEDFPolicy
+from repro.simulation.result import SimulationResult
+
+__all__ = ["FastProxySimulator"]
+
+
+class _FastState:
+    """Per-t-interval bookkeeping of the fast engine.
+
+    ``seq`` numbers states in the reference's active-list order (arrival
+    chronon, then creation order), which the tie-break keys rely on.
+    ``medf_sum``/``medf_started`` are the M-EDF aggregates: the sum of
+    deadlines over uncaptured EIs and the number of uncaptured EIs whose
+    window has opened — the M-EDF score at chronon T is
+    ``medf_sum - T * medf_started``, exactly (all quantities are small
+    integers, so float arithmetic is exact).
+    """
+
+    __slots__ = ("state", "seq", "arrival", "doomed",
+                 "medf_sum", "medf_started", "pid", "tid")
+
+    def __init__(self, state: TIntervalState, seq: int,
+                 arrival: Chronon) -> None:
+        self.state = state
+        self.seq = seq
+        self.arrival = arrival
+        self.doomed = False
+        self.medf_sum = 0
+        self.medf_started = 0
+        # Tie-break identity, cached off the eta to keep the scoring
+        # loops free of attribute chains.
+        self.pid = state.eta.profile_id
+        self.tid = state.eta.tinterval_id
+
+
+# Chronon-shift-invariant scorers in absolute form: scorer(fs, ei, T)
+# returns a value whose ordering over candidates equals the ordering of
+# the policy's true scores at any fixed chronon T. For S-EDF and LFF the
+# true score is (absolute value - T): subtracting the same T from every
+# candidate preserves order exactly. MRSF-family scores are
+# chronon-independent but change on captures of the parent state.
+_ABS_SCORERS = {
+    SEDFPolicy: lambda fs, ei, T: float(ei.finish),
+    FCFSPolicy: lambda fs, ei, T: float(ei.start),
+    # Candidates are active (start <= T), so LFF's remaining width is
+    # finish - T + 1 for every one of them.
+    LeastFlexibleFirstPolicy: lambda fs, ei, T: float(ei.finish + 1),
+    StaticRankPolicy: lambda fs, ei, T: float(fs.state.profile_rank),
+    MRSFPolicy: lambda fs, ei, T: float(
+        fs.state.profile_rank - fs.state.captured_count),
+    MostResidualFirstPolicy: lambda fs, ei, T: -float(
+        fs.state.profile_rank - fs.state.captured_count),
+}
+
+#: Policies whose cached resource keys go stale when a parent state's
+#: captured count changes.
+_CAPTURE_SENSITIVE = (MRSFPolicy, MostResidualFirstPolicy)
+
+
+class FastProxySimulator:
+    """Drop-in fast replacement for :class:`ProxySimulator`.
+
+    Accepts the same constructor arguments and produces an identical
+    :class:`SimulationResult` (up to ``runtime_seconds``, which measures
+    this engine's own wall time).
+    """
+
+    def __init__(self, profiles: ProfileSet, epoch: Epoch,
+                 budget: BudgetVector, policy: Policy,
+                 preemptive: bool = True,
+                 state_factory=TIntervalState,
+                 faults: FaultSpec | None = None,
+                 retry: RetryConfig | None = None,
+                 breaker: CircuitBreaker | None = None) -> None:
+        self.profiles = profiles
+        self.epoch = epoch
+        self.budget = budget
+        self.policy = policy
+        self.preemptive = preemptive
+        self.state_factory = state_factory
+        if isinstance(faults, FaultSpec):
+            faults = FaultInjector(faults, record=False)
+        self.injector = faults
+        self.retry = retry
+        self.breaker = breaker
+
+        # Selection mode: cached absolute keys, per-chronon M-EDF
+        # rescoring, or the generic fallback. Exact type match only —
+        # subclasses may override score() arbitrarily.
+        kind = type(policy)
+        self._scorer = _ABS_SCORERS.get(kind)
+        self._coverage = kind is CoveragePolicy
+        self._medf = kind is MEDFPolicy
+        self._fast_mode = (self._scorer is not None or self._coverage
+                           or self._medf)
+        self._capture_dirty = self._fast_mode and isinstance(
+            policy, _CAPTURE_SENSITIVE)
+        # NP mode pools depend on committed flags, so flips dirty caches.
+        self._commit_dirty = self._fast_mode and not preemptive
+
+        # rid -> {(seq, ei_id) -> (fs, ei, Candidate)}
+        self._index: dict[int, dict[tuple[int, int], tuple]] = {}
+        # Ready-made selection triples (rank_key, rid, best_candidate),
+        # one per resource with a non-empty pool, rebuilt only when the
+        # resource is dirtied: in preemptive mode ``_cache`` holds the
+        # single pool; in NP mode ``_cache`` is the committed pool and
+        # ``_cache2`` the fresh pool.
+        self._cache: dict[int, tuple] = {}
+        self._cache2: dict[int, tuple] = {}
+        self._dirty: set[int] = set()
+        self._fs_by_key: dict[tuple[int, int], _FastState] = {}
+
+    # ------------------------------------------------------------------
+    # Candidate index maintenance
+    # ------------------------------------------------------------------
+
+    def _add_entry(self, fs: _FastState, ei) -> None:
+        rid = ei.resource_id
+        entries = self._index.get(rid)
+        if entries is None:
+            entries = {}
+            self._index[rid] = entries
+        entries[(fs.seq, ei.ei_id)] = (fs, ei, Candidate(fs.state, ei))
+        if self._fast_mode:
+            self._dirty.add(rid)
+
+    def _remove_entry(self, fs: _FastState, ei) -> None:
+        rid = ei.resource_id
+        entries = self._index.get(rid)
+        if entries is None:
+            return
+        if entries.pop((fs.seq, ei.ei_id), None) is None:
+            return
+        if entries:
+            if self._fast_mode:
+                self._dirty.add(rid)
+        else:
+            del self._index[rid]
+            self._cache.pop(rid, None)
+            self._cache2.pop(rid, None)
+            self._dirty.discard(rid)
+
+    def _remove_state_entries(self, fs: _FastState) -> None:
+        """Drop every remaining index entry of one t-interval."""
+        captured = fs.state.captured
+        for ei in fs.state.eta:
+            if not captured[ei.ei_id]:
+                self._remove_entry(fs, ei)
+
+    def _dirty_state_entries(self, fs: _FastState) -> None:
+        """Mark resources holding this state's entries for re-scoring."""
+        seq = fs.seq
+        index = self._index
+        for ei in fs.state.eta:
+            entries = index.get(ei.resource_id)
+            if entries and (seq, ei.ei_id) in entries:
+                self._dirty.add(ei.resource_id)
+
+    # ------------------------------------------------------------------
+    # Cached selection
+    # ------------------------------------------------------------------
+
+    def _recompute(self, rid: int, entries: dict, chronon: Chronon) -> None:
+        """Rebuild one resource's ready-made selection triple(s).
+
+        The per-entry key extends the reference's (score, deadline,
+        start, resource, profile, t-interval) comparison with (seq,
+        ei_id), so a full tie resolves to the entry that comes first in
+        the reference's candidate list — reproducing ``min``'s
+        first-wins behaviour exactly. The stored triple's rank key
+        mirrors the reference's resource ranking: (best score, best
+        deadline, -pool size, best tie-break). Score and deadline shift
+        uniformly with the chronon across resources, so comparing the
+        absolute forms ranks identically.
+        """
+        scorer = self._scorer
+        coverage_score = -float(len(entries)) if self._coverage else None
+        medf = self._medf
+        if self.preemptive:
+            best = None
+            best_cand = None
+            for (seq, ei_id), (fs, ei, cand) in entries.items():
+                if medf:
+                    score = float(fs.medf_sum - chronon * fs.medf_started)
+                elif coverage_score is not None:
+                    score = coverage_score
+                else:
+                    score = scorer(fs, ei, chronon)
+                key = (score, ei.finish, ei.start, rid,
+                       fs.pid, fs.tid, seq, ei_id)
+                if best is None or key < best:
+                    best = key
+                    best_cand = cand
+            self._cache[rid] = (
+                (best[0], best[1], -len(entries), best[2], best[3],
+                 best[4], best[5]), rid, best_cand)
+            return
+        best_c = best_f = None
+        cand_c = cand_f = None
+        n_c = n_f = 0
+        for (seq, ei_id), (fs, ei, cand) in entries.items():
+            if medf:
+                score = float(fs.medf_sum - chronon * fs.medf_started)
+            elif coverage_score is not None:
+                score = coverage_score
+            else:
+                score = scorer(fs, ei, chronon)
+            key = (score, ei.finish, ei.start, rid,
+                   fs.pid, fs.tid, seq, ei_id)
+            if fs.state.committed:
+                n_c += 1
+                if best_c is None or key < best_c:
+                    best_c, cand_c = key, cand
+            else:
+                n_f += 1
+                if best_f is None or key < best_f:
+                    best_f, cand_f = key, cand
+        if best_c is not None:
+            self._cache[rid] = (
+                (best_c[0], best_c[1], -n_c, best_c[2], best_c[3],
+                 best_c[4], best_c[5]), rid, cand_c)
+        else:
+            self._cache.pop(rid, None)
+        if best_f is not None:
+            self._cache2[rid] = (
+                (best_f[0], best_f[1], -n_f, best_f[2], best_f[3],
+                 best_f[4], best_f[5]), rid, cand_f)
+        else:
+            self._cache2.pop(rid, None)
+
+    def _select_fast(self, chronon: Chronon,
+                     budget: int) -> list[ProbeDecision]:
+        index = self._index
+        if self._medf:
+            # M-EDF scores drift non-uniformly with the chronon: rescore
+            # everything (O(1) per candidate via the state aggregates).
+            for rid, entries in index.items():
+                self._recompute(rid, entries, chronon)
+            self._dirty.clear()
+        elif self._dirty:
+            for rid in self._dirty:
+                entries = index.get(rid)
+                if entries:
+                    self._recompute(rid, entries, chronon)
+            self._dirty.clear()
+
+        breaker = self.breaker
+        blocked = None
+        if breaker is not None:
+            blocked = {rid for rid in index
+                       if breaker.is_blocked(rid, chronon)}
+            if len(blocked) == len(index):
+                return []
+        cache = self._cache
+
+        # After the refresh above, cache keys track index keys exactly
+        # (every index mutation dirties or evicts), so the pools are the
+        # cached triples themselves — no per-chronon key building.
+        if self.preemptive:
+            if not blocked:
+                pool = cache.values()
+            else:
+                pool = [triple for rid, triple in cache.items()
+                        if rid not in blocked]
+            return [ProbeDecision(rid, cand)
+                    for _k, rid, cand in heapq.nsmallest(budget, pool)]
+
+        decisions: list[ProbeDecision] = []
+        chosen: set[int] = set()
+        if not blocked:
+            pool = cache.values()
+        else:
+            pool = [triple for rid, triple in cache.items()
+                    if rid not in blocked]
+        for _k, rid, cand in heapq.nsmallest(budget, pool):
+            decisions.append(ProbeDecision(rid, cand))
+            chosen.add(rid)
+        if len(decisions) < budget:
+            needed = budget - len(decisions) + len(chosen)
+            cache2 = self._cache2
+            if not blocked:
+                pool2 = cache2.values()
+            else:
+                pool2 = [triple for rid, triple in cache2.items()
+                         if rid not in blocked]
+            for _k, rid, cand in heapq.nsmallest(needed, pool2):
+                if rid in chosen:
+                    continue
+                if len(decisions) >= budget:
+                    break
+                decisions.append(ProbeDecision(rid, cand))
+                chosen.add(rid)
+        return decisions
+
+    def _select_generic(self, chronon: Chronon,
+                        budget: int) -> list[ProbeDecision]:
+        """Fallback for unrecognised policies: index -> flat candidates.
+
+        The list is ordered by (seq, ei_id) — the reference's candidate
+        order — and handed to the shared selection code, so arbitrary
+        Policy subclasses (stateful hooks included) behave identically.
+        """
+        items: list[tuple[tuple[int, int], tuple]] = []
+        for entries in self._index.values():
+            items.extend(entries.items())
+        items.sort(key=lambda kv: kv[0])
+        candidates = [kv[1][2] for kv in items]
+        breaker = self.breaker
+        if breaker is not None:
+            blocked = {rid for rid in self._index
+                       if breaker.is_blocked(rid, chronon)}
+            if blocked:
+                candidates = [c for c in candidates
+                              if c.ei.resource_id not in blocked]
+        if not candidates:
+            return []
+        self.policy.observe_candidates(candidates, chronon)
+        return select_probes(self.policy, candidates, chronon, budget,
+                             self.preemptive)
+
+    # ------------------------------------------------------------------
+    # Captures
+    # ------------------------------------------------------------------
+
+    def _apply_captures(self, probed: list[int], chronon: Chronon) -> None:
+        """Capture every candidate EI on the probed resources.
+
+        Mirrors :func:`~repro.online.base.apply_probes`: all probed
+        entries are captured (even if a capture completes their
+        t-interval mid-loop), then completed t-intervals have their
+        remaining uncaptured entries retired from the index (relevant
+        for quota-style states that complete early).
+        """
+        popped: list[dict] = []
+        for rid in probed:
+            entries = self._index.pop(rid, None)
+            if not entries:
+                continue
+            self._cache.pop(rid, None)
+            self._cache2.pop(rid, None)
+            self._dirty.discard(rid)
+            popped.append(entries)
+        completed: list[_FastState] = []
+        for entries in popped:
+            for fs, ei, _cand in entries.values():
+                state = fs.state
+                state.mark_captured(ei.ei_id)
+                fs.medf_sum -= ei.finish
+                fs.medf_started -= 1
+                flipped = not state.committed
+                state.committed = True
+                if (self._capture_dirty
+                        or (flipped and self._commit_dirty)):
+                    self._dirty_state_entries(fs)
+                if state.is_complete:
+                    completed.append(fs)
+        for fs in completed:
+            self._remove_state_entries(fs)
+
+    def _commit(self, state: TIntervalState) -> None:
+        """Commit a selected t-interval (probe issued, even if failed)."""
+        if not state.committed:
+            state.committed = True
+            if self._commit_dirty:
+                self._dirty_state_entries(self._fs_by_key[state.key])
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Execute the full epoch and return the run's result."""
+        started = time.perf_counter()
+        last = self.epoch.last
+
+        # Bucket states by arrival (clamped like the reference so that
+        # past-epoch t-intervals are still counted), then number them in
+        # the reference's active-list order.
+        buckets: dict[Chronon, list[TIntervalState]] = {}
+        for profile in self.profiles:
+            rank = profile.rank
+            for eta in profile:
+                state = self.state_factory(eta, rank)
+                arrival = min(eta.earliest_start, last)
+                buckets.setdefault(arrival, []).append(state)
+
+        # Start events cover both cases of an EI becoming probeable: its
+        # window was already open when the state arrived (event at the
+        # arrival chronon), or it opens later (event at ei.start). The
+        # single handler keeps their semantics identical.
+        start_events: dict[Chronon, list[tuple[_FastState, object]]] = \
+            defaultdict(list)
+        expiry_events: dict[Chronon, list[tuple[_FastState, object]]] = \
+            defaultdict(list)
+        all_states: list[_FastState] = []
+        seq = 0
+        for arrival in sorted(buckets):
+            for state in buckets[arrival]:
+                fs = _FastState(state, seq, arrival)
+                seq += 1
+                all_states.append(fs)
+                self._fs_by_key[state.key] = fs
+                for ei in state.eta:
+                    fs.medf_sum += ei.finish
+                    start = ei.start
+                    if start <= arrival:
+                        start_events[arrival].append((fs, ei))
+                    elif start <= last:
+                        start_events[start].append((fs, ei))
+                    if ei.finish < last:
+                        expiry_events[ei.finish + 1].append((fs, ei))
+
+        schedule = Schedule()
+        probes_failed = 0
+        retries = 0
+        sees_doom = self.policy.level != EI_LEVEL
+        fault_aware = (self.injector is not None
+                       or self.breaker is not None
+                       or self.retry is not None)
+        injector = self.injector
+        index = self._index
+        budget = self.budget
+        select = self._select_fast if self._fast_mode \
+            else self._select_generic
+
+        for chronon in self.epoch:
+            starts = start_events.get(chronon)
+            if starts is not None:
+                for fs, ei in starts:
+                    state = fs.state
+                    if state.captured[ei.ei_id]:
+                        continue
+                    fs.medf_started += 1
+                    if state.is_complete:
+                        continue  # quota-complete: no longer a candidate
+                    if sees_doom and fs.doomed:
+                        continue
+                    self._add_entry(fs, ei)
+            expiries = expiry_events.get(chronon)
+            if expiries is not None:
+                for fs, ei in expiries:
+                    state = fs.state
+                    if state.captured[ei.ei_id]:
+                        continue
+                    self._remove_entry(fs, ei)
+                    # An uncaptured EI just crossed its deadline — the
+                    # only instant at which a state can become doomed.
+                    if (not fs.doomed and not state.is_complete
+                            and state.is_expired(chronon)):
+                        fs.doomed = True
+                        if sees_doom:
+                            self._remove_state_entries(fs)
+
+            budget_now = budget.at(chronon)
+            if budget_now <= 0 or not index:
+                continue
+            decisions = select(chronon, budget_now)
+            if not decisions:
+                continue
+
+            if not fault_aware:
+                for decision in decisions:
+                    schedule.add_probe(decision.resource_id, chronon)
+                self._apply_captures(
+                    [d.resource_id for d in decisions], chronon)
+                continue
+
+            if injector is not None:
+                injector.begin_chronon(chronon)
+            round_ = execute_probes(
+                decisions, chronon, budget_now, self._prober(chronon),
+                retry=self.retry, breaker=self.breaker)
+            probes_failed += round_.failures
+            retries += round_.retries
+            ok_rids = []
+            for decision in decisions:
+                # Selection commits the t-interval even when the request
+                # fails (budget was spent on it), like the reference.
+                self._commit(decision.selected.state)
+                if decision.resource_id in round_.outcomes:
+                    ok_rids.append(decision.resource_id)
+                    schedule.add_probe(decision.resource_id, chronon)
+            self._apply_captures(ok_rids, chronon)
+
+        # Final accounting. The reference counts each t-interval exactly
+        # once — captured when it completes, expired at doom time or at
+        # the end-of-epoch flush — which reduces to: captured iff
+        # complete when the epoch ends.
+        captured_total = 0
+        expired_total = 0
+        per_profile: dict[int, tuple[int, int]] = {
+            profile.profile_id: (0, len(profile))
+            for profile in self.profiles
+        }
+        per_rank: dict[int, tuple[int, int]] = {}
+        for eta in self.profiles.tintervals():
+            captured, total = per_rank.get(eta.size, (0, 0))
+            per_rank[eta.size] = (captured, total + 1)
+        for fs in all_states:
+            state = fs.state
+            hit = state.is_complete
+            if hit:
+                captured_total += 1
+            else:
+                expired_total += 1
+            profile_id = state.eta.profile_id
+            hits, total = per_profile.get(profile_id, (0, 0))
+            per_profile[profile_id] = (hits + int(hit), total)
+            rank_hits, rank_total = per_rank[state.eta.size]
+            per_rank[state.eta.size] = (rank_hits + int(hit), rank_total)
+
+        runtime = time.perf_counter() - started
+        report = CompletenessReport(
+            captured=captured_total,
+            total=self.profiles.total_tintervals,
+            per_profile=per_profile,
+            per_rank=per_rank,
+        )
+        return SimulationResult(
+            label=self.policy.label(self.preemptive),
+            schedule=schedule,
+            report=report,
+            probes_used=len(schedule),
+            expired=expired_total,
+            runtime_seconds=runtime,
+            probes_failed=probes_failed,
+            retries=retries,
+            resources_quarantined=(self.breaker.quarantined_count
+                                   if self.breaker is not None else 0),
+        )
+
+    def _prober(self, chronon: Chronon):
+        """A prober over the fault injector (always ok without one)."""
+        injector = self.injector
+        if injector is None:
+            return lambda resource_id, attempt: OK_DECISION
+        return (lambda resource_id, attempt:
+                injector.decide(resource_id, chronon, attempt))

@@ -37,7 +37,6 @@ from repro.online.base import (
     filter_blocked,
     select_probes,
 )
-from repro.online.baselines import CoveragePolicy
 from repro.simulation.result import SimulationResult
 
 __all__ = ["ProxySimulator", "run_online"]
@@ -169,8 +168,7 @@ class ProxySimulator:
             candidates = filter_blocked(candidates, self.breaker, chronon)
             if not candidates:
                 continue
-            if isinstance(self.policy, CoveragePolicy):
-                self.policy.observe_candidates(candidates, chronon)
+            self.policy.observe_candidates(candidates, chronon)
             decisions = select_probes(self.policy, candidates, chronon,
                                       budget_now, self.preemptive)
             if not fault_aware:
@@ -262,8 +260,26 @@ def run_online(profiles: ProfileSet, epoch: Epoch, budget: BudgetVector,
                policy: Policy, preemptive: bool = True,
                faults: FaultSpec | None = None,
                retry: RetryConfig | None = None,
-               breaker: CircuitBreaker | None = None) -> SimulationResult:
-    """One-call convenience wrapper around :class:`ProxySimulator`."""
-    return ProxySimulator(profiles, epoch, budget, policy,
-                          preemptive=preemptive, faults=faults,
-                          retry=retry, breaker=breaker).run()
+               breaker: CircuitBreaker | None = None,
+               engine: str = "fast") -> SimulationResult:
+    """One-call convenience wrapper around the simulation engines.
+
+    ``engine`` selects the implementation: ``"fast"`` (default) uses the
+    event-indexed :class:`~repro.simulation.engine.FastProxySimulator`,
+    ``"reference"`` the straightforward per-chronon :class:`ProxySimulator`.
+    Both produce identical results (verified by the equivalence property
+    suite); the reference engine remains the executable specification.
+    """
+    if engine == "fast":
+        from repro.simulation.engine import FastProxySimulator
+        simulator = FastProxySimulator(
+            profiles, epoch, budget, policy, preemptive=preemptive,
+            faults=faults, retry=retry, breaker=breaker)
+    elif engine == "reference":
+        simulator = ProxySimulator(
+            profiles, epoch, budget, policy, preemptive=preemptive,
+            faults=faults, retry=retry, breaker=breaker)
+    else:
+        raise ValueError(
+            f"unknown engine {engine!r} (expected 'fast' or 'reference')")
+    return simulator.run()

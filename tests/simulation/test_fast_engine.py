@@ -1,0 +1,153 @@
+"""Unit tests for the event-indexed fast engine.
+
+The broad probe-for-probe equivalence with the reference engine lives in
+``tests/properties/test_prop_engine.py``; these tests pin down the
+targeted behaviours — engine dispatch, custom ``state_factory`` support,
+per-policy fast paths, and edge cases around the event queues.
+"""
+
+import pytest
+
+from repro.core import (
+    BudgetVector,
+    Epoch,
+    ExecutionInterval,
+    Profile,
+    ProfileSet,
+    TInterval,
+)
+from repro.extensions import QuotaMap, QuotaMRSFPolicy, QuotaTIntervalState
+from repro.faults import FaultSpec, RetryConfig
+from repro.online import (
+    CoveragePolicy,
+    FCFSPolicy,
+    MEDFPolicy,
+    MRSFPolicy,
+    SEDFPolicy,
+)
+from repro.simulation import FastProxySimulator, ProxySimulator, run_online
+
+
+def _profiles(*etas: list[tuple[int, int, int]]) -> ProfileSet:
+    return ProfileSet([Profile([
+        TInterval([ExecutionInterval(r, s, f) for r, s, f in spec])
+        for spec in etas
+    ])])
+
+
+class TestEngineDispatch:
+    def test_default_engine_is_fast(self):
+        profiles = _profiles([(0, 2, 5)])
+        result = run_online(profiles, Epoch(10), BudgetVector(1),
+                            SEDFPolicy())
+        assert result.gc == 1.0
+
+    def test_reference_engine_selectable(self):
+        profiles = _profiles([(0, 2, 5)])
+        fast = run_online(profiles, Epoch(10), BudgetVector(1),
+                          SEDFPolicy(), engine="fast")
+        reference = run_online(profiles, Epoch(10), BudgetVector(1),
+                               SEDFPolicy(), engine="reference")
+        assert list(fast.schedule.probes()) == \
+            list(reference.schedule.probes())
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            run_online(_profiles([(0, 2, 5)]), Epoch(10), BudgetVector(1),
+                       SEDFPolicy(), engine="turbo")
+
+
+class TestFastEngineBehaviour:
+    def test_single_tinterval_captured(self):
+        result = FastProxySimulator(
+            _profiles([(0, 2, 5)]), Epoch(10), BudgetVector(1),
+            SEDFPolicy()).run()
+        assert result.gc == 1.0
+        assert result.probes_used == 1
+        assert result.expired == 0
+
+    def test_empty_profiles(self):
+        result = FastProxySimulator(
+            ProfileSet(), Epoch(5), BudgetVector(1), SEDFPolicy()).run()
+        assert result.gc == 1.0
+        assert result.probes_used == 0
+
+    def test_zero_budget_expires_everything(self):
+        result = FastProxySimulator(
+            _profiles([(0, 2, 5)]), Epoch(10), BudgetVector(0),
+            SEDFPolicy()).run()
+        assert result.gc == 0.0
+        assert result.expired == 1
+
+    def test_ei_entirely_after_epoch_never_indexed(self):
+        # Second EI lies beyond the epoch: it can never be probed, so
+        # the t-interval expires without tripping the event queues.
+        profiles = _profiles([(0, 2, 4), (1, 12, 14)])
+        fast = FastProxySimulator(profiles, Epoch(10), BudgetVector(1),
+                                  SEDFPolicy()).run()
+        reference = ProxySimulator(profiles, Epoch(10), BudgetVector(1),
+                                   SEDFPolicy()).run()
+        assert fast.report == reference.report
+        assert list(fast.schedule.probes()) == \
+            list(reference.schedule.probes())
+        assert fast.gc == 0.0
+
+    @pytest.mark.parametrize("policy_cls", [
+        SEDFPolicy, MEDFPolicy, MRSFPolicy, FCFSPolicy, CoveragePolicy])
+    @pytest.mark.parametrize("preemptive", [True, False])
+    def test_policies_match_reference_on_overlap(self, policy_cls,
+                                                 preemptive):
+        profiles = _profiles(
+            [(0, 2, 5), (1, 4, 8)],
+            [(1, 3, 6)],
+            [(2, 1, 3), (0, 6, 9), (1, 7, 9)],
+        )
+        fast = FastProxySimulator(
+            profiles, Epoch(12), BudgetVector(1), policy_cls(),
+            preemptive=preemptive).run()
+        reference = ProxySimulator(
+            profiles, Epoch(12), BudgetVector(1), policy_cls(),
+            preemptive=preemptive).run()
+        assert list(fast.schedule.probes()) == \
+            list(reference.schedule.probes())
+        assert fast.report == reference.report
+        assert fast.expired == reference.expired
+
+    def test_quota_state_factory_matches_reference(self):
+        # Custom completion semantics exercise the generic (non-cached)
+        # selection path and the counter-based completion hooks.
+        profiles = _profiles(
+            [(0, 1, 4), (1, 2, 6), (2, 5, 9)],
+            [(0, 3, 7), (2, 4, 8)],
+        )
+        quotas = QuotaMap({(0, 0): 1, (1, 0): 1})
+
+        def factory(eta, profile_rank):
+            return QuotaTIntervalState(eta, profile_rank,
+                                       quotas.quota_for(eta))
+
+        runs = []
+        for cls in (ProxySimulator, FastProxySimulator):
+            runs.append(cls(profiles, Epoch(12), BudgetVector(1),
+                            QuotaMRSFPolicy(), state_factory=factory).run())
+        reference, fast = runs
+        assert list(fast.schedule.probes()) == \
+            list(reference.schedule.probes())
+        assert fast.report == reference.report
+
+    def test_fault_counters_match_reference(self):
+        profiles = _profiles(
+            [(0, 1, 5), (1, 3, 8)],
+            [(1, 2, 6), (0, 5, 9)],
+        )
+        faults = FaultSpec(failure_probability=0.5, seed=7)
+        runs = []
+        for engine in ("reference", "fast"):
+            runs.append(run_online(
+                profiles, Epoch(12), BudgetVector(2), MRSFPolicy(),
+                faults=faults, retry=RetryConfig(1), engine=engine))
+        reference, fast = runs
+        assert fast.probes_failed == reference.probes_failed
+        assert fast.retries == reference.retries
+        assert list(fast.schedule.probes()) == \
+            list(reference.schedule.probes())
