@@ -26,6 +26,7 @@ from repro.experiments import (
     figure6,
     figure7,
     figure8,
+    offline_comparison,
     table1,
 )
 from repro.experiments.reporting import render_table, sweep_csv, sweep_table
@@ -41,6 +42,7 @@ _EXPERIMENTS: dict[str, Callable[[str], object]] = {
     "fig7": figure7,
     "fig8": figure8,
     "faults": fault_sweep,
+    "offline": offline_comparison,
 }
 
 
@@ -79,7 +81,8 @@ def _print_result(name: str, result: object, as_csv: bool) -> None:
     if isinstance(result, RunOutcome):
         _print_run_outcome(name, result, as_csv)
     elif isinstance(result, SweepResult):
-        metrics = ("gc", "runtime") if name == "fig5" else ("gc",)
+        metrics = ("gc", "runtime") if name in ("fig5", "offline") \
+            else ("gc",)
         _print_sweep(result, as_csv, metrics=metrics)
     elif isinstance(result, FigurePair):
         metrics = ("runtime",) if name == "fig5" else ("gc",)
@@ -102,7 +105,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="which table/figure to run ('all' runs everything; "
              "'stats' prints baseline instance statistics; 'faults' "
              "sweeps origin-server failure rates for the "
-             "graceful-degradation curves)",
+             "graceful-degradation curves; 'offline' compares the "
+             "offline solvers in the P^[1] regime)",
     )
     parser.add_argument(
         "--scale", choices=["paper", "default", "smoke"],

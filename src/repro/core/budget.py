@@ -99,6 +99,21 @@ class BudgetVector:
                 total += value - self._default
         return total
 
+    def total_between(self, first: Chronon, last: Chronon) -> int:
+        """Total probes available over the chronon window ``[first, last]``.
+
+        Used by the offline pigeonhole checks (a demand forced into a
+        window can never exceed this total). Empty windows
+        (``last < first``) have capacity 0.
+        """
+        if last < first:
+            return 0
+        total = self._default * (last - first + 1)
+        for chronon, value in self._overrides.items():
+            if first <= chronon <= last:
+                total += value - self._default
+        return total
+
     def is_constant(self) -> bool:
         """True when the budget has no per-chronon overrides."""
         return not self._overrides

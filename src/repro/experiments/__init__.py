@@ -26,6 +26,10 @@ from repro.experiments.figures import (
     figure8,
     table1,
 )
+from repro.experiments.offline import (
+    OFFLINE_SOLVER_LABELS,
+    offline_comparison,
+)
 from repro.experiments.harness import (
     OFFLINE_LABEL,
     PolicyOutcome,
@@ -52,6 +56,8 @@ __all__ = [
     "run_churn",
     "FigurePair",
     "OFFLINE_LABEL",
+    "OFFLINE_SOLVER_LABELS",
+    "offline_comparison",
     "PolicyOutcome",
     "RunOutcome",
     "SCALES",

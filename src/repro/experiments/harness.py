@@ -160,7 +160,9 @@ def make_instance(config: ExperimentConfig, repetition: int,
 
 def _run_cell(config: ExperimentConfig, repetition: int,
               policies: Sequence[str], include_offline: bool,
-              source: str, engine: str) -> dict[str, tuple[float, float]]:
+              source: str, engine: str,
+              offline_engine: str = "fast"
+              ) -> dict[str, tuple[float, float]]:
     """One (setting, repetition) work cell: every policy on one instance.
 
     The unit of parallelism: module-level (so picklable) and fully
@@ -176,7 +178,7 @@ def _run_cell(config: ExperimentConfig, repetition: int,
                             policy, preemptive=preemptive, engine=engine)
         cell[label] = (result.gc, result.runtime_seconds)
     if include_offline:
-        result = LocalRatioApproximation().solve(
+        result = LocalRatioApproximation(engine=offline_engine).solve(
             profiles, config.epoch, config.budget_vector)
         cell[OFFLINE_LABEL] = (result.gc, result.runtime_seconds)
     return cell
@@ -208,24 +210,27 @@ def run_setting(config: ExperimentConfig,
                 include_offline: bool = False,
                 source: str = "poisson",
                 engine: str = "fast",
+                offline_engine: str = "fast",
                 workers: int | None = None) -> RunOutcome:
     """Run every policy on ``repetitions`` shared instances and aggregate.
 
     ``workers=N`` (N > 1) runs the repetitions in a process pool; the
     gained-completeness output is identical to the serial path.
+    ``offline_engine`` picks the Local-Ratio implementation (both produce
+    identical schedules; "reference" exists for ablations).
     """
     if workers is not None and workers > 1 and config.repetitions > 1:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = [
                 pool.submit(_run_cell, config, repetition, tuple(policies),
-                            include_offline, source, engine)
+                            include_offline, source, engine, offline_engine)
                 for repetition in range(config.repetitions)
             ]
             cells = [future.result() for future in futures]
     else:
         cells = [
             _run_cell(config, repetition, tuple(policies),
-                      include_offline, source, engine)
+                      include_offline, source, engine, offline_engine)
             for repetition in range(config.repetitions)
         ]
     return _merge_cells(config, cells, policies, include_offline)
@@ -236,6 +241,7 @@ def sweep(name: str, base: ExperimentConfig, parameter: str,
           include_offline: bool = False,
           source: str = "poisson",
           engine: str = "fast",
+          offline_engine: str = "fast",
           workers: int | None = None) -> SweepResult:
     """Sweep one config field over ``values``, rerunning all policies.
 
@@ -250,7 +256,7 @@ def sweep(name: str, base: ExperimentConfig, parameter: str,
             futures = {
                 (setting, repetition): pool.submit(
                     _run_cell, config, repetition, tuple(policies),
-                    include_offline, source, engine)
+                    include_offline, source, engine, offline_engine)
                 for setting, config in enumerate(configs)
                 for repetition in range(config.repetitions)
             }
@@ -265,7 +271,8 @@ def sweep(name: str, base: ExperimentConfig, parameter: str,
     else:
         runs = [run_setting(config, policies,
                             include_offline=include_offline,
-                            source=source, engine=engine)
+                            source=source, engine=engine,
+                            offline_engine=offline_engine)
                 for config in configs]
     return SweepResult(name=name, parameter=parameter,
                        x_values=tuple(values), runs=tuple(runs))

@@ -2,8 +2,10 @@
 
 from repro.offline.conflict import (
     demand_map,
+    overlap_adjacency,
     overlap_graph,
     self_infeasible,
+    unit_conflict_adjacency,
     unit_conflict_graph,
 )
 from repro.offline.enumeration import EnumerationSolver
@@ -22,7 +24,9 @@ __all__ = [
     "UnitWidthExpansion",
     "demand_map",
     "expand_to_unit_width",
+    "overlap_adjacency",
     "overlap_graph",
     "self_infeasible",
+    "unit_conflict_adjacency",
     "unit_conflict_graph",
 ]

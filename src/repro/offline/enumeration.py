@@ -13,17 +13,27 @@ Key observations that keep the search sound and as small as possible:
   (those with an active uncaptured EI) of size exactly
   ``min(C_j, #useful)``;
 * the value function depends only on ``(chronon, captured-EI set)``, so
-  results are memoized on that pair;
+  results are memoized on that pair; the captured set is an integer
+  bitmask (Python's arbitrary-precision ints carry instances well past
+  the 63-EI machine-word limit), with the per-chronon mask of each
+  resource's active EIs precomputed once so expanding a probe subset is
+  a handful of OR operations;
+* the capture gain of a transition is found incrementally: only
+  t-intervals owning a *newly set* EI bit can have just become complete,
+  so the gain check touches those instead of rescanning every t-interval;
 * chronons with no useful resource are skipped outright.
 
 A node-count guard raises :class:`SolverCapacityError` instead of silently
-burning hours, honoring the Lemma-1 warning.
+burning hours, honoring the Lemma-1 warning; guard messages carry the
+instance dimensions (``n``, ``K``, ``C_max``, #EIs) so oversized runs are
+diagnosable from the error alone.
 """
 
 from __future__ import annotations
 
 import time
 from itertools import combinations
+from typing import Iterator
 
 from repro.core.budget import BudgetVector
 from repro.core.completeness import evaluate_schedule
@@ -34,6 +44,10 @@ from repro.core.timeline import Epoch
 from repro.simulation.result import SimulationResult
 
 __all__ = ["EnumerationSolver"]
+
+#: Hard cap on total EI count. Bitmask states are arbitrary-precision
+#: integers, so this is a memo-size safeguard, not a word-size limit.
+MAX_EIS = 128
 
 
 class EnumerationSolver:
@@ -58,7 +72,8 @@ class EnumerationSolver:
         Raises
         ------
         SolverCapacityError
-            When the search exceeds the configured node limit.
+            When the instance exceeds :data:`MAX_EIS` execution intervals
+            or the search exceeds the configured node limit.
         """
         started = time.perf_counter()
 
@@ -72,26 +87,72 @@ class EnumerationSolver:
                 eis.append((ei.resource_id, ei.start, ei.finish))
             tinterval_members.append(members)
 
-        if len(eis) > 63:
+        dims = (f"n={profiles.total_tintervals} t-intervals, "
+                f"K={len(epoch)} chronons, "
+                f"C_max={budget.max_over(epoch)}, {len(eis)} EIs")
+        if len(eis) > MAX_EIS:
             raise SolverCapacityError(
-                f"enumeration supports at most 63 EIs, got {len(eis)}"
+                f"enumeration supports at most {MAX_EIS} EIs ({dims})"
             )
 
-        # Index: chronon -> list of EI indexes active there.
-        active_at: dict[int, list[int]] = {}
-        for index, (_resource, start, finish) in enumerate(eis):
+        # Per chronon, per resource: bitmask of that resource's active EIs.
+        res_masks_at: dict[int, dict[int, int]] = {}
+        for index, (resource, start, finish) in enumerate(eis):
             for chronon in range(max(1, start),
                                  min(epoch.last, finish) + 1):
-                active_at.setdefault(chronon, []).append(index)
-        interesting = sorted(active_at)
+                per_res = res_masks_at.setdefault(chronon, {})
+                per_res[resource] = per_res.get(resource, 0) | (1 << index)
+        interesting = sorted(res_masks_at)
 
         full_masks = [self._mask(members) for members in tinterval_members]
+        # EI index -> t-intervals containing it (for incremental gains).
+        ei_owners: list[list[int]] = [[] for _ in eis]
+        for t_index, members in enumerate(tinterval_members):
+            for member in members:
+                ei_owners[member].append(t_index)
+
+        def gained_by(mask: int, new_mask: int) -> int:
+            """T-intervals completed by ``new_mask`` but not ``mask``.
+
+            Only owners of a newly-set EI bit can have just completed,
+            so walk the fresh bits instead of every t-interval.
+            """
+            fresh = new_mask & ~mask
+            gained = 0
+            seen: set[int] = set()
+            while fresh:
+                bit = fresh & -fresh
+                fresh ^= bit
+                for owner in ei_owners[bit.bit_length() - 1]:
+                    if owner not in seen:
+                        seen.add(owner)
+                        full = full_masks[owner]
+                        if new_mask & full == full:
+                            gained += 1
+            return gained
+
+        def expansions(chronon: int,
+                       mask: int) -> Iterator[tuple[tuple[int, ...], int]]:
+            """Yield ``(probed resources, new mask)`` per branch choice.
+
+            Branches over subsets of useful resources (deterministic
+            sorted order) of size exactly ``min(C_j, #useful)``; an empty
+            yield means the chronon offers nothing to probe.
+            """
+            per_res = res_masks_at[chronon]
+            useful = [resource for resource in sorted(per_res)
+                      if per_res[resource] & ~mask]
+            capacity = min(budget.at(chronon), len(useful))
+            if capacity == 0:
+                return
+            for subset in combinations(useful, capacity):
+                new_mask = mask
+                for resource in subset:
+                    new_mask |= per_res[resource]
+                yield subset, new_mask
 
         memo: dict[tuple[int, int], int] = {}
         nodes = 0
-
-        def captured_value(mask: int) -> int:
-            return sum(1 for full in full_masks if mask & full == full)
 
         def search(position: int, mask: int) -> int:
             nonlocal nodes
@@ -104,33 +165,23 @@ class EnumerationSolver:
             nodes += 1
             if nodes > self._node_limit:
                 raise SolverCapacityError(
-                    f"enumeration exceeded {self._node_limit} nodes"
+                    f"enumeration exceeded {self._node_limit} nodes ({dims})"
                 )
             chronon = interesting[position]
-            pending = [index for index in active_at[chronon]
-                       if not mask & (1 << index)]
-            useful = sorted({eis[index][0] for index in pending})
-            capacity = min(budget.at(chronon), len(useful))
             best = 0
-            if capacity == 0 or not useful:
+            branched = False
+            for _subset, new_mask in expansions(chronon, mask):
+                branched = True
+                gained = gained_by(mask, new_mask)
+                best = max(best, gained + search(position + 1, new_mask))
+            if not branched:
                 best = search(position + 1, mask)
-            else:
-                for subset in combinations(useful, capacity):
-                    probed = set(subset)
-                    new_mask = mask
-                    for index in pending:
-                        if eis[index][0] in probed:
-                            new_mask |= 1 << index
-                    gained = (captured_value(new_mask)
-                              - captured_value(mask))
-                    best = max(best,
-                               gained + search(position + 1, new_mask))
             memo[key] = best
             return best
 
         best_value = search(0, 0)
-        schedule = self._reconstruct(best_value, interesting, active_at,
-                                     eis, full_masks, budget, memo)
+        schedule = self._reconstruct(interesting, expansions, gained_by,
+                                     memo)
         runtime = time.perf_counter() - started
         report = evaluate_schedule(profiles, schedule)
         return SimulationResult(
@@ -150,16 +201,10 @@ class EnumerationSolver:
             mask |= 1 << index
         return mask
 
-    def _reconstruct(self, best_value: int, interesting: list[int],
-                     active_at: dict[int, list[int]],
-                     eis: list[tuple[int, int, int]],
-                     full_masks: list[int], budget: BudgetVector,
+    @staticmethod
+    def _reconstruct(interesting: list[int], expansions, gained_by,
                      memo: dict[tuple[int, int], int]) -> Schedule:
         """Walk the memo table again, re-deriving one optimal schedule."""
-
-        def captured_value(mask: int) -> int:
-            return sum(1 for full in full_masks if mask & full == full)
-
         schedule = Schedule()
         mask = 0
         for position, chronon in enumerate(interesting):
@@ -167,21 +212,10 @@ class EnumerationSolver:
             if target is None:
                 # Unvisited state (can happen only past the optimum path).
                 break
-            pending = [index for index in active_at[chronon]
-                       if not mask & (1 << index)]
-            useful = sorted({eis[index][0] for index in pending})
-            capacity = min(budget.at(chronon), len(useful))
-            if capacity == 0 or not useful:
-                continue
             chosen: tuple[int, ...] | None = None
             chosen_mask = mask
-            for subset in combinations(useful, capacity):
-                probed = set(subset)
-                new_mask = mask
-                for index in pending:
-                    if eis[index][0] in probed:
-                        new_mask |= 1 << index
-                gained = captured_value(new_mask) - captured_value(mask)
+            for subset, new_mask in expansions(chronon, mask):
+                gained = gained_by(mask, new_mask)
                 tail = memo.get((position + 1, new_mask), 0)
                 if gained + tail == target:
                     chosen = subset

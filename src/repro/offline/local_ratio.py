@@ -16,15 +16,35 @@ Implementation outline (fractional local ratio, LP solved once):
    distinct resources ``eta`` needs at ``j``. For general inputs the
    window-smeared density ``sum_{EI active at j} 1/width(EI)`` is used
    (guidance only — the formal ratio is stated for ``P^[1]``, matching the
-   setting the paper evaluates the approximation in, cf. §5.3).
+   setting the paper evaluates the approximation in, cf. §5.3). The
+   solved ``x*`` is quantized to integers (scaled by ``2**20``) so both
+   decomposition engines below manipulate exact arithmetic — identical
+   argmin selections regardless of summation order.
 3. **Weight decomposition**: repeatedly pick the remaining t-interval
-   minimizing the ``x*``-mass of its closed neighborhood in the conflict
-   graph, subtract its weight from that neighborhood, and push it on a
-   stack — the classic local-ratio round.
+   minimizing ``(x*-mass of its closed neighborhood, latest finish, key)``
+   in the conflict graph, subtract its weight from that neighborhood, and
+   push it on a stack — the classic local-ratio round.
 4. **Unwind** in reverse stack order, greedily accepting every t-interval
    that stays *jointly schedulable* with the accepted set; schedulability
    and the final probe schedule come from incremental bipartite matching
    (:class:`repro.offline.matching.ProbeAssigner`).
+
+Two engines implement steps 1 and 3 (mirroring the online simulator's
+fast/reference split):
+
+* ``engine="reference"`` — networkx conflict graphs built pairwise and a
+  per-round full rescan of the remaining t-intervals for the argmin: the
+  executable specification, obviously correct and obviously slow;
+* ``engine="fast"`` (default) — sweep-line adjacency dictionaries
+  (:func:`repro.offline.conflict.unit_conflict_adjacency` /
+  :func:`~repro.offline.conflict.overlap_adjacency`), incrementally
+  maintained neighborhood masses in a lazy min-heap with stale-entry
+  invalidation (``O(deg log m)`` per round), and the accelerated
+  matcher mode.
+
+Both engines produce the *identical* accepted t-interval set, probe
+schedule, and gained completeness — proven per instance by the
+property suite (``tests/properties/test_prop_offline_fast.py``).
 
 Gained completeness is evaluated against the produced schedule, so any
 free-rider captures (shared probes) are credited.
@@ -32,6 +52,7 @@ free-rider captures (shared probes) are credited.
 
 from __future__ import annotations
 
+import heapq
 import time
 
 import numpy as np
@@ -44,8 +65,12 @@ from repro.core.intervals import TInterval
 from repro.core.profile import ProfileSet
 from repro.core.timeline import Epoch
 from repro.offline.conflict import (
+    Adjacency,
+    demand_map,
+    overlap_adjacency,
     overlap_graph,
     self_infeasible,
+    unit_conflict_adjacency,
     unit_conflict_graph,
 )
 from repro.offline.matching import ProbeAssigner
@@ -54,6 +79,11 @@ from repro.simulation.result import SimulationResult
 __all__ = ["LocalRatioApproximation"]
 
 TKey = tuple[int, int]
+
+#: Fixed-point scale for guidance weights: LP solutions in ``[0, 1]`` map
+#: to integers in ``[0, 2**20]``, making neighborhood-mass comparisons
+#: exact (and therefore engine-independent).
+GUIDANCE_SCALE = 1 << 20
 
 
 class LocalRatioApproximation:
@@ -67,40 +97,62 @@ class LocalRatioApproximation:
         degrading gracefully to plain (non-fractional) local ratio.
     max_lp_variables:
         Cap on LP variable count before falling back to uniform guidance.
+    engine:
+        ``"fast"`` (default) for the indexed pipeline, ``"reference"``
+        for the pairwise/rescan specification. Results are identical;
+        only the wall time differs.
     """
 
     def __init__(self, use_lp: bool = True,
-                 max_lp_variables: int = 50_000) -> None:
+                 max_lp_variables: int = 50_000,
+                 engine: str = "fast") -> None:
+        if engine not in ("fast", "reference"):
+            raise ValueError(
+                f"unknown engine {engine!r}; choose 'fast' or 'reference'")
         self._use_lp = use_lp
         self._max_lp_variables = max_lp_variables
+        self._engine = engine
 
     def solve(self, profiles: ProfileSet, epoch: Epoch,
               budget: BudgetVector) -> SimulationResult:
         """Produce an approximate schedule and its completeness report."""
         started = time.perf_counter()
+        fast = self._engine == "fast"
 
         is_unit = profiles.is_unit_width
-        if is_unit:
-            graph = unit_conflict_graph(profiles, budget)
+        if fast:
+            if is_unit:
+                etas, adjacency = unit_conflict_adjacency(profiles, budget)
+            else:
+                etas, adjacency = overlap_adjacency(profiles, budget)
+            keys: list[TKey] = sorted(adjacency)
         else:
-            graph = overlap_graph(profiles)
-            for eta in profiles.tintervals():
-                if self_infeasible(eta, budget):
-                    key = (eta.profile_id, eta.tinterval_id)
-                    if graph.has_node(key):
-                        graph.remove_node(key)
+            if is_unit:
+                graph = unit_conflict_graph(profiles, budget)
+            else:
+                graph = overlap_graph(profiles)
+                for eta in profiles.tintervals():
+                    if self_infeasible(eta, budget):
+                        key = (eta.profile_id, eta.tinterval_id)
+                        if graph.has_node(key):
+                            graph.remove_node(key)
+            keys = sorted(graph.nodes)
+            etas = {key: graph.nodes[key]["eta"] for key in keys}
+            adjacency = {key: set(graph.neighbors(key)) for key in keys}
 
-        keys: list[TKey] = sorted(graph.nodes)
-        etas: dict[TKey, TInterval] = {
-            key: graph.nodes[key]["eta"] for key in keys
-        }
-
+        # One demand-map lookup per t-interval (the lru cache makes
+        # repeats cheap, but hashing EI tuples is not free on hot paths).
+        demands = ({key: demand_map(etas[key]) for key in keys}
+                   if is_unit else {})
         guidance = self._fractional_guidance(keys, etas, epoch, budget,
-                                             is_unit)
+                                             is_unit, demands)
 
-        stack = self._decompose(keys, etas, graph, guidance)
+        if fast:
+            stack = _decompose_fast(keys, etas, adjacency, guidance)
+        else:
+            stack = _decompose_reference(keys, etas, adjacency, guidance)
 
-        assigner = ProbeAssigner(epoch, budget)
+        assigner = ProbeAssigner(epoch, budget, fast=fast)
         accepted: list[TKey] = []
         accepted_set: set[TKey] = set()
         for key in reversed(stack):
@@ -142,10 +194,9 @@ class LocalRatioApproximation:
             for profile in profiles
         }
         per_rank: dict[int, tuple[int, int]] = {}
-        accepted_set_keys = set(accepted)
         for eta in profiles.tintervals():
             hits, total = per_rank.get(eta.size, (0, 0))
-            hit = (eta.profile_id, eta.tinterval_id) in accepted_set_keys
+            hit = (eta.profile_id, eta.tinterval_id) in accepted_set
             per_rank[eta.size] = (hits + int(hit), total + 1)
         report = CompletenessReport(
             captured=len(accepted),
@@ -165,6 +216,7 @@ class LocalRatioApproximation:
                 "candidates": float(len(keys)),
                 "unit_width_input": 1.0 if is_unit else 0.0,
                 "gc_with_free_riders": with_free_riders.gc,
+                "fast_engine": 1.0 if fast else 0.0,
             },
         )
 
@@ -172,16 +224,24 @@ class LocalRatioApproximation:
     # Step 2: fractional guidance
     # ------------------------------------------------------------------
 
-    def _fractional_guidance(self, keys: list[TKey],
-                             etas: dict[TKey, TInterval], epoch: Epoch,
-                             budget: BudgetVector,
-                             is_unit: bool) -> dict[TKey, float]:
+    def _fractional_guidance(
+            self, keys: list[TKey], etas: dict[TKey, TInterval],
+            epoch: Epoch, budget: BudgetVector, is_unit: bool,
+            demands: dict[TKey, dict[int, frozenset[int]]],
+    ) -> dict[TKey, int]:
+        """Quantized LP guidance, shared verbatim by both engines.
+
+        The constraint matrix is assembled straight into COO triplet
+        arrays (one ``(row, col, load)`` per nonzero) and handed to
+        scipy as CSR; the row order — and therefore the solver's chosen
+        optimal vertex — is identical however the caller built the
+        conflict structure, which keeps the engines' guidance equal.
+        """
         if not keys:
             return {}
         if not self._use_lp or len(keys) > self._max_lp_variables:
-            return {key: 1.0 for key in keys}
+            return {key: GUIDANCE_SCALE for key in keys}
 
-        key_index = {key: i for i, key in enumerate(keys)}
         rows: list[int] = []
         cols: list[int] = []
         vals: list[float] = []
@@ -196,29 +256,28 @@ class LocalRatioApproximation:
                 capacities.append(float(budget.at(chronon)))
             return existing
 
-        for key in keys:
+        for column, key in enumerate(keys):
             eta = etas[key]
-            loads: dict[int, float] = {}
             if is_unit:
-                per_chronon_resources: dict[int, set[int]] = {}
-                for ei in eta:
-                    per_chronon_resources.setdefault(
-                        ei.start, set()).add(ei.resource_id)
-                for chronon, resources in per_chronon_resources.items():
-                    loads[chronon] = float(len(resources))
+                for chronon, resources in sorted(
+                        demands[key].items()):
+                    rows.append(row_for(chronon))
+                    cols.append(column)
+                    vals.append(float(len(resources)))
             else:
+                loads: dict[int, float] = {}
                 for ei in eta:
                     smear = 1.0 / ei.width
                     for chronon in range(max(1, ei.start),
                                          min(epoch.last, ei.finish) + 1):
                         loads[chronon] = loads.get(chronon, 0.0) + smear
-            for chronon, load in loads.items():
-                rows.append(row_for(chronon))
-                cols.append(key_index[key])
-                vals.append(load)
+                for chronon in sorted(loads):
+                    rows.append(row_for(chronon))
+                    cols.append(column)
+                    vals.append(loads[chronon])
 
         if not capacities:
-            return {key: 1.0 for key in keys}
+            return {key: GUIDANCE_SCALE for key in keys}
         matrix = sparse.csr_matrix(
             (vals, (rows, cols)), shape=(len(capacities), len(keys)))
         result = linprog(
@@ -229,59 +288,107 @@ class LocalRatioApproximation:
             method="highs",
         )
         if result.x is None:
-            return {key: 1.0 for key in keys}
-        return {key: float(result.x[key_index[key]]) for key in keys}
+            return {key: GUIDANCE_SCALE for key in keys}
+        quantized = np.rint(np.asarray(result.x) * GUIDANCE_SCALE)
+        return {key: max(0, int(quantized[column]))
+                for column, key in enumerate(keys)}
 
-    # ------------------------------------------------------------------
-    # Step 3: local-ratio weight decomposition
-    # ------------------------------------------------------------------
 
-    @staticmethod
-    def _decompose(keys: list[TKey], etas: dict[TKey, TInterval],
-                   graph, guidance: dict[TKey, float]) -> list[TKey]:
-        import heapq
+# ----------------------------------------------------------------------
+# Step 3: local-ratio weight decomposition (two engines, one outcome)
+# ----------------------------------------------------------------------
+#
+# Selection rule (the contract both engines implement): each round chooses
+# the remaining key minimizing ``(mass, latest_finish, key)``, where
+# ``mass`` is the integer guidance of the key plus its still-remaining
+# neighbors. The chosen key's (integer) weight is subtracted from its
+# closed remaining neighborhood; keys at weight <= 0 leave ``remaining``.
+# All arithmetic is integral, so the argmin is order-independent.
 
-        weights = {key: 1.0 for key in keys}
-        remaining = set(keys)
-        stack: list[TKey] = []
+#: Initial (integer) local-ratio weight of every t-interval.
+_INITIAL_WEIGHT = 1 << 20
 
-        def neighborhood_mass(key: TKey) -> float:
-            mass = guidance.get(key, 1.0)
-            for neighbor in graph.neighbors(key):
-                if neighbor in remaining:
-                    mass += guidance.get(neighbor, 1.0)
-            return mass
 
-        # Lazy min-heap: masses only decrease as keys leave ``remaining``,
-        # so a popped entry is an upper bound on the key's current mass.
-        # Re-evaluating on pop and comparing against the next stored entry
-        # recovers the exact argmin without O(N^2) rescans.
-        heap: list[tuple[float, int, TKey]] = [
-            (neighborhood_mass(key), etas[key].latest_finish, key)
-            for key in keys
-        ]
-        heapq.heapify(heap)
+def _decompose_reference(keys: list[TKey], etas: dict[TKey, TInterval],
+                         adjacency: Adjacency,
+                         guidance: dict[TKey, int]) -> list[TKey]:
+    """The specification: recompute every mass, every round."""
+    weights = {key: _INITIAL_WEIGHT for key in keys}
+    remaining = set(keys)
+    stack: list[TKey] = []
 
-        while remaining:
-            chosen: TKey | None = None
-            while heap:
-                _stale_mass, finish, key = heapq.heappop(heap)
-                if key not in remaining:
-                    continue
-                current = neighborhood_mass(key)
-                if not heap or current <= heap[0][0] + 1e-12:
-                    chosen = key
-                    break
-                heapq.heappush(heap, (current, finish, key))
-            if chosen is None:
-                # Heap drained of live entries; fall back to any survivor.
-                chosen = min(remaining)
-            epsilon = weights[chosen]
-            stack.append(chosen)
-            affected = [chosen] + [n for n in graph.neighbors(chosen)
-                                   if n in remaining]
-            for key in affected:
-                weights[key] -= epsilon
-                if weights[key] <= 1e-12:
-                    remaining.discard(key)
-        return stack
+    def neighborhood_mass(key: TKey) -> int:
+        mass = guidance[key]
+        for neighbor in adjacency[key]:
+            if neighbor in remaining:
+                mass += guidance[neighbor]
+        return mass
+
+    while remaining:
+        chosen = min(
+            remaining,
+            key=lambda key: (neighborhood_mass(key),
+                             etas[key].latest_finish, key),
+        )
+        epsilon = weights[chosen]
+        stack.append(chosen)
+        affected = [chosen] + [neighbor for neighbor in adjacency[chosen]
+                               if neighbor in remaining]
+        for key in affected:
+            weights[key] -= epsilon
+            if weights[key] <= 0:
+                remaining.discard(key)
+    return stack
+
+
+def _decompose_fast(keys: list[TKey], etas: dict[TKey, TInterval],
+                    adjacency: Adjacency,
+                    guidance: dict[TKey, int]) -> list[TKey]:
+    """Lazy-heap engine: same selection rule, O(deg log m) per round.
+
+    ``mass[key]`` is maintained incrementally — when a key leaves
+    ``remaining``, its guidance is subtracted from every remaining
+    neighbor's mass and a fresh heap entry is pushed for each (the dirty
+    ones). A popped entry whose stored mass no longer matches the
+    current mass is stale and skipped, so the heap top is always the
+    true ``(mass, finish, key)`` argmin — identical to the reference's
+    full rescan because the masses are exact integers.
+    """
+    remaining = set(keys)
+    weights = {key: _INITIAL_WEIGHT for key in keys}
+    finishes = {key: etas[key].latest_finish for key in keys}
+    mass = {
+        key: guidance[key] + sum(guidance[neighbor]
+                                 for neighbor in adjacency[key])
+        for key in keys
+    }
+    heap = [(mass[key], finishes[key], key) for key in keys]
+    heapq.heapify(heap)
+    stack: list[TKey] = []
+
+    def retire(key: TKey) -> None:
+        """Remove a key from play, dirtying its neighbors' masses."""
+        remaining.discard(key)
+        shed = guidance[key]
+        for neighbor in adjacency[key]:
+            if neighbor in remaining:
+                if shed:
+                    updated = mass[neighbor] - shed
+                    mass[neighbor] = updated
+                    heapq.heappush(
+                        heap, (updated, finishes[neighbor], neighbor))
+
+    while remaining:
+        entry_mass, _finish, chosen = heapq.heappop(heap)
+        if chosen not in remaining or entry_mass != mass[chosen]:
+            continue  # stale (retired key or superseded dirty entry)
+        epsilon = weights[chosen]
+        stack.append(chosen)
+        weights[chosen] = 0
+        retire(chosen)
+        for neighbor in adjacency[chosen]:
+            if neighbor in remaining:
+                weights[neighbor] -= epsilon
+                if weights[neighbor] <= 0:
+                    retire(neighbor)
+    return stack

@@ -11,8 +11,10 @@ from repro.core import (
 )
 from repro.offline import (
     demand_map,
+    overlap_adjacency,
     overlap_graph,
     self_infeasible,
+    unit_conflict_adjacency,
     unit_conflict_graph,
 )
 
@@ -45,8 +47,43 @@ class TestSelfInfeasible:
         assert self_infeasible(eta, BudgetVector(1))
         assert not self_infeasible(eta, BudgetVector(2))
 
-    def test_non_unit_never_flagged(self):
+    def test_non_unit_within_window_budget(self):
+        # Two resources confined to [3, 4]: window capacity 2 suffices.
         eta = TInterval([ExecutionInterval(0, 3, 4),
+                         ExecutionInterval(1, 3, 4)])
+        assert not self_infeasible(eta, BudgetVector(1))
+
+    def test_non_unit_pigeonhole_violation(self):
+        # Three distinct resources forced into the 2-chronon window
+        # [3, 4] under budget 1: only 2 probes exist there -> doomed.
+        eta = TInterval([ExecutionInterval(0, 3, 4),
+                         ExecutionInterval(1, 3, 4),
+                         ExecutionInterval(2, 3, 4)])
+        assert self_infeasible(eta, BudgetVector(1))
+        assert not self_infeasible(eta, BudgetVector(2))
+
+    def test_non_unit_pigeonhole_sub_window(self):
+        # The violated window [2, 3] is a proper sub-span of the eta:
+        # the wide EI on resource 3 is NOT confined there and must not
+        # count, while the three EIs inside [2, 3] exceed its 2 probes.
+        eta = TInterval([ExecutionInterval(0, 2, 3),
+                         ExecutionInterval(1, 2, 3),
+                         ExecutionInterval(2, 2, 3),
+                         ExecutionInterval(3, 1, 9)])
+        assert self_infeasible(eta, BudgetVector(1))
+
+    def test_non_unit_rescuable_by_budget_override(self):
+        # Same shape, but a budget burst inside the window rescues it.
+        eta = TInterval([ExecutionInterval(0, 3, 4),
+                         ExecutionInterval(1, 3, 4),
+                         ExecutionInterval(2, 3, 4)])
+        burst = BudgetVector(1, overrides={3: 2})
+        assert not self_infeasible(eta, burst)
+
+    def test_duplicate_resources_count_once(self):
+        # Two EIs of one resource can share a probe; no violation.
+        eta = TInterval([ExecutionInterval(0, 3, 4),
+                         ExecutionInterval(0, 3, 4),
                          ExecutionInterval(1, 3, 4)])
         assert not self_infeasible(eta, BudgetVector(1))
 
@@ -123,3 +160,70 @@ class TestOverlapGraph:
             TInterval([ExecutionInterval(0, 1, 2)])])])
         graph = overlap_graph(profiles)
         assert graph.nodes[(0, 0)]["eta"].size == 1
+
+
+def _edge_set(adjacency):
+    return {frozenset((left, right))
+            for left, neighbors in adjacency.items()
+            for right in neighbors}
+
+
+class TestSweepAdjacencyEquivalence:
+    """The fast builders must emit exactly the reference edge sets."""
+
+    def test_unit_adjacency_matches_graph(self):
+        profiles = _unit_profiles(
+            [(0, 3), (1, 5)], [(1, 3)], [(0, 3)], [(2, 5)], [(0, 7)])
+        for budget in (BudgetVector(1), BudgetVector(2),
+                       BudgetVector(1, overrides={5: 3})):
+            graph = unit_conflict_graph(profiles, budget)
+            etas, adjacency = unit_conflict_adjacency(profiles, budget)
+            assert set(adjacency) == set(graph.nodes)
+            assert _edge_set(adjacency) == {
+                frozenset(edge) for edge in graph.edges}
+            assert all(etas[key] is graph.nodes[key]["eta"]
+                       or etas[key] == graph.nodes[key]["eta"]
+                       for key in etas)
+
+    def test_unit_adjacency_requires_unit_width(self):
+        profiles = ProfileSet([Profile([
+            TInterval([ExecutionInterval(0, 1, 3)])])])
+        with pytest.raises(ValueError, match="P\\^\\[1\\]"):
+            unit_conflict_adjacency(profiles, BudgetVector(1))
+
+    def test_overlap_adjacency_matches_graph(self):
+        profiles = ProfileSet([Profile([
+            TInterval([ExecutionInterval(0, 1, 2),
+                       ExecutionInterval(1, 8, 9)]),
+            TInterval([ExecutionInterval(2, 4, 5)]),
+            TInterval([ExecutionInterval(0, 2, 4)]),
+        ]), Profile([
+            TInterval([ExecutionInterval(3, 5, 8)]),
+            TInterval([ExecutionInterval(1, 9, 9)]),
+        ])])
+        graph = overlap_graph(profiles)
+        _etas, adjacency = overlap_adjacency(profiles)
+        assert set(adjacency) == set(graph.nodes)
+        assert _edge_set(adjacency) == {
+            frozenset(edge) for edge in graph.edges}
+
+    def test_overlap_adjacency_touching_windows(self):
+        # Windows meeting at exactly one chronon must be adjacent.
+        profiles = ProfileSet([Profile([
+            TInterval([ExecutionInterval(0, 1, 4)]),
+            TInterval([ExecutionInterval(1, 4, 7)]),
+        ])])
+        _etas, adjacency = overlap_adjacency(profiles)
+        assert (0, 1) in adjacency[(0, 0)]
+
+    def test_overlap_adjacency_budget_filters_infeasible(self):
+        infeasible = TInterval([ExecutionInterval(0, 3, 4),
+                                ExecutionInterval(1, 3, 4),
+                                ExecutionInterval(2, 3, 4)])
+        fine = TInterval([ExecutionInterval(0, 1, 9)])
+        profiles = ProfileSet([Profile([infeasible, fine])])
+        _etas, unfiltered = overlap_adjacency(profiles)
+        assert (0, 0) in unfiltered
+        etas, filtered = overlap_adjacency(profiles, BudgetVector(1))
+        assert (0, 0) not in filtered
+        assert (0, 1) in filtered

@@ -79,9 +79,18 @@ class TestOptimality:
 
 class TestCapacityGuards:
     def test_too_many_eis_rejected(self):
-        profiles = _profiles(*[[[(i % 3, 1, 2)]] for i in range(64)])
-        with pytest.raises(SolverCapacityError, match="63"):
+        profiles = _profiles(*[[[(i % 3, 1, 2)]] for i in range(129)])
+        with pytest.raises(SolverCapacityError, match="128"):
             EnumerationSolver().solve(profiles, Epoch(5), BudgetVector(1))
+
+    def test_past_machine_word_width_accepted(self):
+        # 64+ EIs used to be rejected; arbitrary-precision masks carry
+        # them fine. All 70 unit EIs share chronon 1 across 2 resources,
+        # budget 2 -> everything captured with two probes.
+        profiles = _profiles(*[[[(i % 2, 1, 1)]] for i in range(70)])
+        result = EnumerationSolver().solve(profiles, Epoch(2),
+                                           BudgetVector(2))
+        assert result.report.captured == 70
 
     def test_node_limit_enforced(self):
         profiles = _profiles(
@@ -90,6 +99,17 @@ class TestCapacityGuards:
         with pytest.raises(SolverCapacityError, match="nodes"):
             EnumerationSolver(node_limit=3).solve(
                 profiles, Epoch(10), BudgetVector(2))
+
+    def test_guard_messages_carry_instance_dimensions(self):
+        profiles = _profiles(*[[[(i % 3, 1, 2)]] for i in range(129)])
+        with pytest.raises(SolverCapacityError,
+                           match=r"n=129 .*K=5 .*C_max=1.*129 EIs"):
+            EnumerationSolver().solve(profiles, Epoch(5), BudgetVector(1))
+        small = _profiles(*[[[(i, 1, 10)]] for i in range(10)])
+        with pytest.raises(SolverCapacityError,
+                           match=r"3 nodes .*n=10 .*K=10 .*C_max=2"):
+            EnumerationSolver(node_limit=3).solve(
+                small, Epoch(10), BudgetVector(2))
 
     def test_invalid_node_limit(self):
         with pytest.raises(ValueError):

@@ -1,5 +1,10 @@
 """Tests for the incremental probe-assignment matcher."""
 
+import itertools
+import random
+
+import pytest
+
 from repro.core import BudgetVector, Epoch, ExecutionInterval, TInterval
 from repro.offline import ProbeAssigner
 
@@ -80,6 +85,125 @@ class TestRemove:
         assigner = ProbeAssigner(Epoch(5), BudgetVector(1))
         assigner.remove(_eta((0, 1, 1)))
         assert assigner.assigned_count == 0
+
+
+class TestRollback:
+    """A failed try_add must restore the matching *exactly*."""
+
+    def test_failed_add_restores_rearranged_chains(self):
+        # A ([1,2]) sits at chronon 1. The rejected eta's first EI
+        # ((1,1,1)) succeeds by pushing A to chronon 2; its second EI
+        # ((2,1,2)) then finds everything full and fails. The undo must
+        # put A back at chronon 1, not leave it rehomed at 2.
+        for fast in (True, False):
+            assigner = ProbeAssigner(Epoch(2), BudgetVector(1), fast=fast)
+            assert assigner.try_add(_eta((0, 1, 2)))
+            before = sorted(assigner.schedule().probes())
+            assert before == [(0, 1)]
+            assert not assigner.try_add(_eta((1, 1, 1), (2, 1, 2)))
+            assert sorted(assigner.schedule().probes()) == before
+
+    def test_interleaved_insert_reject_sequences(self):
+        # Deterministic pseudo-random interleavings of accepted and
+        # rejected inserts; after every reject the schedule must be
+        # byte-identical to the pre-call one, and fast/naive assigners
+        # must agree on every accept/reject decision.
+        rng = random.Random(7)
+        etas = []
+        for _ in range(60):
+            eis = []
+            for _ in range(rng.randint(1, 3)):
+                resource = rng.randint(0, 3)
+                start = rng.randint(1, 12)
+                finish = min(12, start + rng.randint(0, 3))
+                eis.append((resource, start, finish))
+            etas.append(_eta(*eis))
+        fast = ProbeAssigner(Epoch(12), BudgetVector(1), fast=True)
+        naive = ProbeAssigner(Epoch(12), BudgetVector(1), fast=False)
+        for eta in etas:
+            before_fast = sorted(fast.schedule().probes())
+            before_naive = sorted(naive.schedule().probes())
+            accepted_fast = fast.try_add(eta)
+            accepted_naive = naive.try_add(eta)
+            assert accepted_fast == accepted_naive
+            after_fast = sorted(fast.schedule().probes())
+            after_naive = sorted(naive.schedule().probes())
+            assert after_fast == after_naive
+            if not accepted_fast:
+                assert after_fast == before_fast
+                assert after_naive == before_naive
+
+    def test_refcounted_shared_key_survives_rejected_sibling(self):
+        # Regression: eta2 shares EI (0,2,2) with accepted eta1 and adds
+        # a doomed sibling. The rejection must neither steal eta1's slot
+        # nor bump the shared key's refcount.
+        assigner = ProbeAssigner(Epoch(5), BudgetVector(1))
+        shared = _eta((0, 2, 2))
+        assert assigner.try_add(shared)
+        blocker = _eta((1, 4, 4))
+        assert assigner.try_add(blocker)
+        assert not assigner.try_add(_eta((0, 2, 2), (2, 4, 4)))
+        # eta1's probe is still there...
+        assert assigner.schedule().captures_tinterval(shared)
+        # ...and one remove releases it (refcount untouched by the
+        # rejected sibling).
+        assigner.remove(shared)
+        assert assigner.try_add(_eta((3, 2, 2)))
+
+    def test_remove_after_interleaving_restores_capacity(self):
+        assigner = ProbeAssigner(Epoch(6), BudgetVector(1))
+        first = _eta((0, 1, 3))
+        second = _eta((1, 1, 3))
+        third = _eta((2, 1, 3))
+        assert assigner.try_add(first)
+        assert assigner.try_add(second)
+        assert assigner.try_add(third)
+        assert not assigner.try_add(_eta((3, 1, 3)))
+        assigner.remove(second)
+        assert assigner.try_add(_eta((3, 1, 3)))
+
+
+class TestFastParity:
+    """Fast accelerations must be invisible in accept/reject outcomes."""
+
+    @pytest.mark.parametrize("budget", [1, 2])
+    def test_exhaustive_small_sequences(self, budget):
+        pool = [
+            _eta((0, 1, 1)), _eta((1, 1, 1)), _eta((0, 1, 2)),
+            _eta((1, 2, 3), (0, 3, 3)), _eta((2, 2, 2)),
+        ]
+        for sequence in itertools.permutations(pool, 4):
+            fast = ProbeAssigner(Epoch(3), BudgetVector(budget), fast=True)
+            naive = ProbeAssigner(Epoch(3), BudgetVector(budget),
+                                  fast=False)
+            for eta in sequence:
+                assert fast.try_add(eta) == naive.try_add(eta)
+            assert sorted(fast.schedule().probes()) \
+                == sorted(naive.schedule().probes())
+
+    def test_unit_shortcut_matches_kuhn_outcomes(self):
+        rng = random.Random(99)
+        for trial in range(20):
+            etas = [
+                _eta(*[(rng.randint(0, 4), c, c)
+                       for c in {rng.randint(1, 8)
+                                 for _ in range(rng.randint(1, 3))}])
+                for _ in range(25)
+            ]
+            fast = ProbeAssigner(Epoch(8), BudgetVector(1), fast=True)
+            naive = ProbeAssigner(Epoch(8), BudgetVector(1), fast=False)
+            for eta in etas:
+                assert fast.try_add(eta) == naive.try_add(eta)
+            assert sorted(fast.schedule().probes()) \
+                == sorted(naive.schedule().probes())
+
+    def test_unit_eta_outside_epoch_rejected(self):
+        # The unit shortcut must not hallucinate slots beyond the epoch.
+        fast = ProbeAssigner(Epoch(5), BudgetVector(1), fast=True)
+        naive = ProbeAssigner(Epoch(5), BudgetVector(1), fast=False)
+        eta = _eta((0, 7, 7))
+        assert not fast.try_add(eta)
+        assert not naive.try_add(eta)
 
 
 class TestSchedule:

@@ -1,0 +1,168 @@
+"""Fast/reference equivalence of the offline optimization pipeline.
+
+The indexed offline path (sweep-line adjacency, lazy-heap Local-Ratio
+decomposition, accelerated matcher) must be *observationally identical*
+to the pairwise/rescan specification: same accepted t-interval set, same
+probe schedule, same gained completeness — on any instance. These
+properties are the proof obligations; the speedups in
+``BENCH_offline.json`` are only meaningful because of them.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import networkx as nx
+
+from repro.core import BudgetVector
+from repro.offline import (
+    LocalRatioApproximation,
+    ProbeAssigner,
+    overlap_adjacency,
+    overlap_graph,
+    self_infeasible,
+    unit_conflict_adjacency,
+    unit_conflict_graph,
+)
+
+from tests.properties.strategies import epoch, profile_sets, tintervals
+
+
+def _assert_identical(fast, reference):
+    assert fast.extras["accepted"] == reference.extras["accepted"]
+    assert sorted(fast.schedule.probes()) \
+        == sorted(reference.schedule.probes())
+    assert fast.report.captured == reference.report.captured
+    assert fast.report.per_profile == reference.report.per_profile
+    assert fast.report.per_rank == reference.report.per_rank
+    assert fast.report.gc == reference.report.gc
+    assert fast.extras["gc_with_free_riders"] \
+        == reference.extras["gc_with_free_riders"]
+
+
+class TestLocalRatioEngineEquivalence:
+    @given(profiles=profile_sets(unit_width=True),
+           budget=st.sampled_from([1, 3]),
+           use_lp=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_unit_width_instances(self, profiles, budget, use_lp):
+        budget_vector = BudgetVector(budget)
+        fast = LocalRatioApproximation(
+            use_lp=use_lp, engine="fast").solve(
+            profiles, epoch(), budget_vector)
+        reference = LocalRatioApproximation(
+            use_lp=use_lp, engine="reference").solve(
+            profiles, epoch(), budget_vector)
+        _assert_identical(fast, reference)
+
+    @given(profiles=profile_sets(),
+           budget=st.sampled_from([1, 3]),
+           use_lp=st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_general_instances(self, profiles, budget, use_lp):
+        budget_vector = BudgetVector(budget)
+        fast = LocalRatioApproximation(
+            use_lp=use_lp, engine="fast").solve(
+            profiles, epoch(), budget_vector)
+        reference = LocalRatioApproximation(
+            use_lp=use_lp, engine="reference").solve(
+            profiles, epoch(), budget_vector)
+        _assert_identical(fast, reference)
+
+    @given(profiles=profile_sets(unit_width=True))
+    @settings(max_examples=15, deadline=None)
+    def test_nonuniform_budget(self, profiles):
+        budget_vector = BudgetVector(1, overrides={3: 2, 7: 0})
+        fast = LocalRatioApproximation(engine="fast").solve(
+            profiles, epoch(), budget_vector)
+        reference = LocalRatioApproximation(engine="reference").solve(
+            profiles, epoch(), budget_vector)
+        _assert_identical(fast, reference)
+
+    def test_unknown_engine_rejected(self):
+        import pytest
+        with pytest.raises(ValueError, match="engine"):
+            LocalRatioApproximation(engine="turbo")
+
+
+class TestAdjacencyEquivalence:
+    @given(profiles=profile_sets(unit_width=True),
+           budget=st.integers(1, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_unit_sweep_matches_pairwise(self, profiles, budget):
+        budget_vector = BudgetVector(budget)
+        graph = unit_conflict_graph(profiles, budget_vector)
+        etas, adjacency = unit_conflict_adjacency(profiles, budget_vector)
+        assert set(adjacency) == set(graph.nodes)
+        fast_edges = {frozenset((left, right))
+                      for left, neighbors in adjacency.items()
+                      for right in neighbors}
+        assert fast_edges == {frozenset(edge) for edge in graph.edges}
+
+    @given(profiles=profile_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_overlap_sweep_matches_pairwise(self, profiles):
+        graph = overlap_graph(profiles)
+        _etas, adjacency = overlap_adjacency(profiles)
+        assert set(adjacency) == set(graph.nodes)
+        fast_edges = {frozenset((left, right))
+                      for left, neighbors in adjacency.items()
+                      for right in neighbors}
+        assert fast_edges == {frozenset(edge) for edge in graph.edges}
+
+    @given(profiles=profile_sets(), budget=st.integers(1, 2))
+    @settings(max_examples=25, deadline=None)
+    def test_overlap_sweep_budget_filter(self, profiles, budget):
+        budget_vector = BudgetVector(budget)
+        graph = overlap_graph(profiles)
+        for eta in profiles.tintervals():
+            if self_infeasible(eta, budget_vector):
+                key = (eta.profile_id, eta.tinterval_id)
+                if graph.has_node(key):
+                    graph.remove_node(key)
+        _etas, adjacency = overlap_adjacency(profiles, budget_vector)
+        assert set(adjacency) == set(graph.nodes)
+        fast_edges = {frozenset((left, right))
+                      for left, neighbors in adjacency.items()
+                      for right in neighbors}
+        assert fast_edges == {frozenset(edge) for edge in graph.edges}
+        assert isinstance(graph, nx.Graph)
+
+
+class TestMatcherModeEquivalence:
+    @given(etas=st.lists(tintervals(), min_size=1, max_size=10),
+           budget=st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_fast_and_naive_agree_per_insert(self, etas, budget):
+        budget_vector = BudgetVector(budget)
+        fast = ProbeAssigner(epoch(), budget_vector, fast=True)
+        naive = ProbeAssigner(epoch(), budget_vector, fast=False)
+        for eta in etas:
+            assert fast.try_add(eta) == naive.try_add(eta)
+        assert sorted(fast.schedule().probes()) \
+            == sorted(naive.schedule().probes())
+
+    @given(etas=st.lists(tintervals(unit_width=True),
+                         min_size=1, max_size=12),
+           budget=st.integers(1, 2))
+    @settings(max_examples=60, deadline=None)
+    def test_unit_shortcut_regime(self, etas, budget):
+        budget_vector = BudgetVector(budget)
+        fast = ProbeAssigner(epoch(), budget_vector, fast=True)
+        naive = ProbeAssigner(epoch(), budget_vector, fast=False)
+        for eta in etas:
+            assert fast.try_add(eta) == naive.try_add(eta)
+        assert sorted(fast.schedule().probes()) \
+            == sorted(naive.schedule().probes())
+
+    @given(etas=st.lists(tintervals(), min_size=2, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_rejections_leave_fast_state_consistent(self, etas):
+        # Interleave accepts and rejects, then verify the final fast
+        # schedule is feasible and captures exactly the accepted etas.
+        budget_vector = BudgetVector(1)
+        fast = ProbeAssigner(epoch(), budget_vector, fast=True)
+        accepted = [eta for eta in etas if fast.try_add(eta)]
+        schedule = fast.schedule()
+        assert schedule.respects_budget(budget_vector, epoch())
+        for eta in accepted:
+            assert schedule.captures_tinterval(eta)
