@@ -1,0 +1,282 @@
+"""Instance-generation performance: reference vs. fast, cold vs. warm cache.
+
+Measures median wall-times of :func:`repro.experiments.instances.\
+generate_instance` on the reference and vectorized paths (which produce
+identical instances seed-for-seed — see
+``tests/properties/test_prop_instances.py``), plus the end-to-end effect
+of the content-addressed instance cache on ``run_setting``/``sweep``
+(cold disk store vs. warm reload), and writes the numbers to
+``BENCH_instances.json``::
+
+    PYTHONPATH=src python benchmarks/bench_instances.py \
+        --output BENCH_instances.json
+
+The ``target`` scale (epoch 200, 50 resources, 60 profiles) matches the
+tracked engine/offline benches; the PR-5 acceptance bar is a >= 4x
+generation speedup there for the default poisson source.
+
+``--cache-check`` runs the CI smoke assertion instead: a cold and a warm
+pass over a temporary cache directory must produce identical results
+with non-zero hit counters.
+
+The module doubles as a pytest-benchmark bench
+(``bench_instance_generation``) asserting the fast path actually is
+faster.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import tempfile
+import time
+from dataclasses import asdict
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import run_setting, sweep
+from repro.experiments.instances import (
+    configure_instances,
+    fast_default,
+    generate_instance,
+)
+
+__all__ = ["bench_generation", "bench_cache", "main"]
+
+#: Instance scales measured. ``target`` carries the acceptance bar;
+#: ``tiny`` exists for CI smoke runs.
+SCALES: dict[str, ExperimentConfig] = {
+    "tiny": ExperimentConfig(
+        epoch_length=40, num_resources=10, num_profiles=12, intensity=5.0,
+        window=5, repetitions=1, grouping="overlap", seed=1234),
+    "small": ExperimentConfig(
+        epoch_length=100, num_resources=25, num_profiles=30, intensity=8.0,
+        window=8, repetitions=1, grouping="overlap", seed=1234),
+    "target": ExperimentConfig(
+        epoch_length=200, num_resources=50, num_profiles=60, intensity=10.0,
+        window=10, repetitions=1, grouping="overlap", seed=1234),
+}
+
+
+def _time_once(config: ExperimentConfig, source: str, fast: bool) -> float:
+    """Wall-time of one full instance generation."""
+    started = time.perf_counter()
+    generate_instance(config, 0, source, fast=fast)
+    return time.perf_counter() - started
+
+
+def _time_generate(config: ExperimentConfig, source: str, fast: bool,
+                   rounds: int) -> tuple[float, float]:
+    """(best, median) wall-times over ``rounds`` generations.
+
+    The *best* is the headline number (timeit-style: the minimum is the
+    run least disturbed by scheduler noise, which matters on loaded CI
+    boxes); the median is recorded alongside for transparency.
+    """
+    times = [_time_once(config, source, fast) for _ in range(rounds)]
+    return min(times), statistics.median(times)
+
+
+def bench_generation(scale: str, rounds: int = 20,
+                     sources=("poisson", "auction")) -> dict:
+    """Reference vs. fast generation wall-times at one scale.
+
+    Reference and fast rounds are *interleaved* (one of each per round)
+    so both paths sample the same background-load phases; the speedup is
+    the ratio of the per-path minima. On a shared machine this is
+    markedly more stable than timing each path in its own block.
+    """
+    config = SCALES[scale]
+    per_source: dict[str, dict] = {}
+    for source in sources:
+        # Warm-up realizes lazy caches (CDFs, stream tables) outside
+        # the timed region for both paths alike.
+        _time_once(config, source, True)
+        _time_once(config, source, False)
+        reference_times = []
+        fast_times = []
+        for _ in range(rounds):
+            reference_times.append(_time_once(config, source, False))
+            fast_times.append(_time_once(config, source, True))
+        reference_s = min(reference_times)
+        fast_s = min(fast_times)
+        reference_median_s = statistics.median(reference_times)
+        fast_median_s = statistics.median(fast_times)
+        per_source[source] = {
+            "reference_s": reference_s,
+            "fast_s": fast_s,
+            "speedup": reference_s / fast_s,
+            "reference_median_s": reference_median_s,
+            "fast_median_s": fast_median_s,
+            "median_speedup": reference_median_s / fast_median_s,
+        }
+    return {
+        "config": asdict(config),
+        "sources": per_source,
+    }
+
+
+def _outcome_table(run) -> dict[str, list[float]]:
+    return {label: list(outcome.gc_values)
+            for label, outcome in run.outcomes.items()}
+
+
+def bench_cache(scale: str, rounds: int = 3) -> dict:
+    """Cold vs. warm end-to-end wall-times through the instance cache.
+
+    Runs the same budget sweep twice against one disk store: the first
+    pass generates and stores every instance, the second reloads them
+    (a fresh cache object stands in for a new process, so the hits are
+    disk hits, not in-memory ones). Results must match exactly; the
+    timing delta is the cache's end-to-end win.
+    """
+    config = SCALES[scale].with_(repetitions=2)
+    values = [1, 2]
+    previous_fast = fast_default()
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            cold_cache = configure_instances(cache_dir=tmp, fast=True)
+            started = time.perf_counter()
+            cold = sweep("bench", config, "budget", values)
+            cold_s = time.perf_counter() - started
+            cold_stats = cold_cache.stats()
+            warm_times = []
+            warm = None
+            for _ in range(rounds):
+                warm_cache = configure_instances(cache_dir=tmp, fast=True)
+                started = time.perf_counter()
+                warm = sweep("bench", config, "budget", values)
+                warm_times.append(time.perf_counter() - started)
+            warm_s = statistics.median(warm_times)
+            warm_stats = warm_cache.stats()
+        identical = all(
+            _outcome_table(run_cold) == _outcome_table(run_warm)
+            for run_cold, run_warm in zip(cold.runs, warm.runs))
+    finally:
+        configure_instances(cache_dir=None, fast=previous_fast)
+    return {
+        "config": asdict(config),
+        "swept_values": values,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "speedup": cold_s / warm_s,
+        "cold_stats": cold_stats,
+        "warm_stats": warm_stats,
+        "results_identical": identical,
+    }
+
+
+def cache_check(scale: str = "tiny") -> int:
+    """CI smoke: cold + warm pass with non-zero hit counters.
+
+    Returns a process exit code (0 = pass). Asserts that the cold pass
+    stores every instance, the warm pass serves them from disk without
+    regenerating anything, and both passes agree on every GC value.
+    """
+    config = SCALES[scale].with_(repetitions=2)
+    with tempfile.TemporaryDirectory() as tmp:
+        try:
+            cold_cache = configure_instances(cache_dir=tmp, fast=True)
+            cold = run_setting(config)
+            cold_stats = cold_cache.stats()
+            warm_cache = configure_instances(cache_dir=tmp, fast=True)
+            warm = run_setting(config)
+            warm_stats = warm_cache.stats()
+        finally:
+            configure_instances(cache_dir=None, fast=True)
+    problems = []
+    if cold_stats["misses"] == 0 or cold_stats["stores"] == 0:
+        problems.append(f"cold pass did not populate the store: "
+                        f"{cold_stats}")
+    if warm_stats["disk_hits"] == 0 or warm_stats["misses"] > 0:
+        problems.append(f"warm pass did not hit the store: {warm_stats}")
+    if cold_stats["disk_errors"] or warm_stats["disk_errors"]:
+        problems.append("disk errors recorded")
+    if _outcome_table(cold) != _outcome_table(warm):
+        problems.append("cold and warm results differ")
+    for problem in problems:
+        print(f"[bench_instances] CACHE CHECK FAILED: {problem}",
+              file=sys.stderr)
+    if not problems:
+        print(f"[bench_instances] cache check passed "
+              f"(cold {cold_stats}, warm {warm_stats})", file=sys.stderr)
+    return 1 if problems else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark instance generation and the instance "
+                    "cache, writing BENCH_instances.json")
+    parser.add_argument("--scales", default="small,target",
+                        help="comma-separated scales to measure "
+                             f"(available: {','.join(SCALES)})")
+    parser.add_argument("--rounds", type=int, default=20,
+                        help="interleaved reference/fast timing rounds "
+                             "per source (best-of wins)")
+    parser.add_argument("--cache-rounds", type=int, default=3,
+                        help="warm-pass timing rounds for the cache bench")
+    parser.add_argument("--skip-cache", action="store_true",
+                        help="skip the cold/warm cache measurement")
+    parser.add_argument("--cache-check", action="store_true",
+                        help="run the CI cache round-trip assertion "
+                             "instead of the timing benches")
+    parser.add_argument("--output", default="BENCH_instances.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    if args.cache_check:
+        return cache_check()
+
+    scales = [scale.strip() for scale in args.scales.split(",")
+              if scale.strip()]
+    report = {
+        "generated_by": "benchmarks/bench_instances.py",
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "rounds": args.rounds,
+        "scales": {},
+    }
+    for scale in scales:
+        print(f"[bench_instances] measuring scale {scale!r} ...",
+              file=sys.stderr)
+        report["scales"][scale] = bench_generation(scale,
+                                                   rounds=args.rounds)
+        for source, numbers in report["scales"][scale]["sources"].items():
+            print(f"[bench_instances]   {source}: "
+                  f"{numbers['speedup']:.2f}x "
+                  f"(ref {numbers['reference_s']*1e3:.1f}ms, "
+                  f"fast {numbers['fast_s']*1e3:.1f}ms)",
+                  file=sys.stderr)
+    if not args.skip_cache:
+        print("[bench_instances] measuring cache cold/warm ...",
+              file=sys.stderr)
+        report["cache"] = bench_cache(scales[0],
+                                      rounds=args.cache_rounds)
+        print(f"[bench_instances]   warm sweep {report['cache']['speedup']:.2f}x "
+              f"(cold {report['cache']['cold_s']*1e3:.0f}ms, "
+              f"warm {report['cache']['warm_s']*1e3:.0f}ms)",
+              file=sys.stderr)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"[bench_instances] wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def bench_instance_generation(benchmark):
+    """pytest-benchmark hook: fast generation at the target scale, and
+    a sanity assertion that it beats the reference path."""
+    config = SCALES["target"]
+    benchmark.pedantic(
+        lambda: generate_instance(config, 0, "poisson", fast=True),
+        rounds=3, iterations=1)
+    reference_s, _ = _time_generate(config, "poisson", False, 3)
+    fast_s, _ = _time_generate(config, "poisson", True, 3)
+    assert fast_s < reference_s
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -128,6 +128,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", metavar="DIR", default=None,
         help="also write CSV series and text tables into DIR",
     )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="persist generated problem instances under DIR "
+             "(content-addressed .npz + manifest); repeated runs with "
+             "the same settings reload instances instead of "
+             "regenerating them",
+    )
+    parser.add_argument(
+        "--no-fast-gen", action="store_true",
+        help="use the reference (unvectorized) instance-generation "
+             "path; instances are identical to the fast path's, only "
+             "slower to build (for ablations and debugging)",
+    )
     return parser
 
 
@@ -146,6 +159,9 @@ def _print_stats(scale: str) -> None:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    from repro.experiments.instances import configure_instances
+    configure_instances(cache_dir=args.cache_dir,
+                        fast=not args.no_fast_gen)
     if args.experiment == "stats":
         _print_stats(args.scale)
         return 0

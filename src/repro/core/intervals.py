@@ -87,9 +87,33 @@ class ExecutionInterval:
         return range(self.start, self.finish + 1)
 
     def with_id(self, ei_id: int) -> "ExecutionInterval":
-        """Return a copy of this EI carrying the given identity."""
+        """Return a copy of this EI carrying the given identity.
+
+        Returns ``self`` when the identity already matches: EIs are
+        immutable value objects, so the copy would be indistinguishable,
+        and attach pipelines re-stamp the same ids many times over.
+        """
+        if self.ei_id == ei_id:
+            return self
         return ExecutionInterval(self.resource_id, self.start, self.finish,
                                  ei_id=ei_id)
+
+    def restamped(self, ei_id: int) -> "ExecutionInterval":
+        """Like :meth:`with_id`, skipping re-validation of the bounds.
+
+        ``self`` already passed ``__post_init__`` and only the identity
+        changes, so the checks cannot fail; bulk attach paths (the fast
+        template build stamps one copy per t-interval slot) use this to
+        avoid paying them again.
+        """
+        if self.ei_id == ei_id:
+            return self
+        copy = object.__new__(ExecutionInterval)
+        object.__setattr__(copy, "resource_id", self.resource_id)
+        object.__setattr__(copy, "start", self.start)
+        object.__setattr__(copy, "finish", self.finish)
+        object.__setattr__(copy, "ei_id", ei_id)
+        return copy
 
     def shifted(self, delta: int) -> "ExecutionInterval":
         """Return a copy shifted by ``delta`` chronons (id preserved)."""
@@ -193,9 +217,30 @@ class TInterval:
         return False
 
     def attached(self, tinterval_id: int, profile_id: int) -> "TInterval":
-        """Return a copy carrying identities assigned by the owner profile."""
+        """Return a copy carrying identities assigned by the owner profile.
+
+        Returns ``self`` when both identities already match (the copy
+        would compare equal anyway).
+        """
+        if self.tinterval_id == tinterval_id and self.profile_id == profile_id:
+            return self
         return TInterval(self.eis, tinterval_id=tinterval_id,
                          profile_id=profile_id)
+
+    @classmethod
+    def from_stamped(cls, eis: tuple["ExecutionInterval", ...],
+                     tinterval_id: int, profile_id: int) -> "TInterval":
+        """Construct from EIs whose ``ei_id`` already equals their position.
+
+        Skips the per-EI re-stamping pass of ``__init__`` — the caller
+        guarantees ``eis[i].ei_id == i`` and non-emptiness (the fast
+        template build stamps members as it assembles them).
+        """
+        interval = cls.__new__(cls)
+        interval.eis = eis
+        interval.tinterval_id = tinterval_id
+        interval.profile_id = profile_id
+        return interval
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         parts = ", ".join(str(ei) for ei in self.eis)

@@ -42,6 +42,23 @@ class Profile:
             for index, eta in enumerate(tintervals)
         )
 
+    @classmethod
+    def from_stamped(cls, tintervals: tuple[TInterval, ...],
+                     profile_id: int, name: str) -> "Profile":
+        """Construct from t-intervals already carrying their identities.
+
+        Skips the attach pass of ``__init__`` — the caller guarantees
+        ``tintervals[i].tinterval_id == i`` and
+        ``tintervals[i].profile_id == profile_id`` (the fast template
+        build stamps them during assembly).
+        """
+        profile = cls.__new__(cls)
+        profile.profile_id = profile_id
+        profile.name = name or (f"p{profile_id}" if profile_id >= 0
+                                else "p?")
+        profile.tintervals = tintervals
+        return profile
+
     def __len__(self) -> int:
         """Number of t-intervals ``|p|`` (the GC denominator term)."""
         return len(self.tintervals)
@@ -92,9 +109,18 @@ class Profile:
                 yield eta, ei
 
     def attached(self, profile_id: int) -> "Profile":
-        """Return a copy of this profile with ids assigned."""
-        bare = [TInterval(eta.eis) for eta in self.tintervals]
-        return Profile(bare, profile_id=profile_id, name=self.name)
+        """Return a copy of this profile with ids assigned.
+
+        Returns ``self`` when the id already matches (construction
+        attaches the t-intervals consistently, so the copy would be
+        equal). Otherwise the t-intervals are re-attached directly —
+        :meth:`TInterval.attached` overwrites both identity fields, so
+        no intermediate bare copy is needed.
+        """
+        if self.profile_id == profile_id:
+            return self
+        return Profile(self.tintervals, profile_id=profile_id,
+                       name=self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (f"Profile(id={self.profile_id}, name={self.name!r}, "

@@ -22,14 +22,17 @@ from typing import Sequence
 
 from repro.core.profile import ProfileSet
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.instances import (
+    InstanceCache,
+    _pool_worker_init,
+    active_cache,
+    fast_default,
+)
 from repro.offline.local_ratio import LocalRatioApproximation
 from repro.online.registry import parse_policy_spec
 from repro.simulation.proxy import run_online
 from repro.simulation.result import SimulationResult
-from repro.traces.auctions import AuctionTraceSynthesizer
 from repro.traces.events import UpdateTrace
-from repro.traces.models import PoissonUpdateModel
-from repro.workloads.generator import GeneratorConfig, ProfileGenerator
 
 __all__ = [
     "PolicyOutcome",
@@ -115,9 +118,11 @@ class SweepResult:
 
 
 def make_instance(config: ExperimentConfig, repetition: int,
-                  source: str = "poisson"
+                  source: str = "poisson", *,
+                  fast: bool | None = None,
+                  cache: InstanceCache | None = None,
                   ) -> tuple[UpdateTrace, ProfileSet]:
-    """Generate one (trace, profiles) problem instance.
+    """One (trace, profiles) problem instance — cached when possible.
 
     Parameters
     ----------
@@ -130,32 +135,20 @@ def make_instance(config: ExperimentConfig, repetition: int,
         ``"poisson"`` for the synthetic Poisson(lambda) update model or
         ``"auction"`` for the eBay-like auction trace (the real-world
         substitute used by Figure 3).
+    fast:
+        Generation path override; defaults to the process-wide setting
+        (fast, unless ``--no-fast-gen``/:func:`configure_instances`
+        said otherwise). Both paths generate identical instances.
+    cache:
+        Cache override; defaults to the process-wide cache (in-memory
+        LRU, plus the disk store when ``--cache-dir`` is configured).
+        Pass an :class:`InstanceCache` to isolate, e.g., a benchmark.
     """
-    seed = config.seed + 1013 * repetition
-    epoch = config.epoch
-    resource_ids = list(range(config.num_resources))
-    if source == "poisson":
-        model = PoissonUpdateModel(config.intensity, seed=seed)
-        trace = model.generate(resource_ids, epoch)
-    elif source == "auction":
-        synthesizer = AuctionTraceSynthesizer(
-            config.num_resources, epoch,
-            mean_bids=max(1.0, config.intensity), seed=seed)
-        trace = synthesizer.generate()
-    else:
-        raise ValueError(f"unknown trace source {source!r}")
-    generator = ProfileGenerator(GeneratorConfig(
-        num_profiles=config.num_profiles,
-        max_rank=config.max_rank,
-        alpha=config.alpha,
-        beta=config.beta,
-        window=config.window,
-        grouping=config.grouping,
-        seed=seed + 1,
-    ))
-    profiles = generator.generate(trace, epoch,
-                                  resource_ids=resource_ids)
-    return trace, profiles
+    if fast is None:
+        fast = fast_default()
+    if cache is None:
+        cache = active_cache()
+    return cache.get_or_generate(config, repetition, source, fast=fast)
 
 
 def _run_cell(config: ExperimentConfig, repetition: int,
@@ -182,6 +175,44 @@ def _run_cell(config: ExperimentConfig, repetition: int,
             profiles, config.epoch, config.budget_vector)
         cell[OFFLINE_LABEL] = (result.gc, result.runtime_seconds)
     return cell
+
+
+def _run_cell_batch(cell_args: Sequence[tuple]
+                    ) -> list[dict[str, tuple[float, float]]]:
+    """Run a contiguous chunk of cells inside one worker task.
+
+    Chunked submission amortizes pickling and lets the worker-local
+    instance cache (seeded by the pool initializer) serve repeated
+    (setting, repetition) instances without regenerating them.
+    """
+    return [_run_cell(*args) for args in cell_args]
+
+
+def _run_cells_parallel(cell_args: Sequence[tuple],
+                        workers: int
+                        ) -> list[dict[str, tuple[float, float]]]:
+    """Execute cells on a process pool, preserving serial order.
+
+    Workers are initialized with the parent's cache configuration
+    (cache directory and fast/reference choice), so a shared
+    ``--cache-dir`` lets them reuse stored instances. Cells are split
+    into contiguous chunks (a few per worker, to balance load without
+    losing batching) and results are flattened back in submission
+    order — byte-identical to the serial path's ordering.
+    """
+    chunk_size = max(1, -(-len(cell_args) // (workers * 4)))
+    chunks = [cell_args[at:at + chunk_size]
+              for at in range(0, len(cell_args), chunk_size)]
+    cache = active_cache()
+    cache_dir = str(cache.cache_dir) if cache.cache_dir is not None else None
+    with ProcessPoolExecutor(
+            max_workers=workers, initializer=_pool_worker_init,
+            initargs=(cache_dir, fast_default())) as pool:
+        futures = [pool.submit(_run_cell_batch, chunk) for chunk in chunks]
+        cells: list[dict[str, tuple[float, float]]] = []
+        for future in futures:
+            cells.extend(future.result())
+    return cells
 
 
 def _merge_cells(config: ExperimentConfig,
@@ -220,13 +251,11 @@ def run_setting(config: ExperimentConfig,
     identical schedules; "reference" exists for ablations).
     """
     if workers is not None and workers > 1 and config.repetitions > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_run_cell, config, repetition, tuple(policies),
-                            include_offline, source, engine, offline_engine)
-                for repetition in range(config.repetitions)
-            ]
-            cells = [future.result() for future in futures]
+        cells = _run_cells_parallel([
+            (config, repetition, tuple(policies), include_offline,
+             source, engine, offline_engine)
+            for repetition in range(config.repetitions)
+        ], workers)
     else:
         cells = [
             _run_cell(config, repetition, tuple(policies),
@@ -252,22 +281,20 @@ def sweep(name: str, base: ExperimentConfig, parameter: str,
     """
     configs = [base.with_(**{parameter: value}) for value in values]
     if workers is not None and workers > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                (setting, repetition): pool.submit(
-                    _run_cell, config, repetition, tuple(policies),
-                    include_offline, source, engine, offline_engine)
-                for setting, config in enumerate(configs)
-                for repetition in range(config.repetitions)
-            }
-            runs = [
-                _merge_cells(
-                    config,
-                    [futures[(setting, repetition)].result()
-                     for repetition in range(config.repetitions)],
-                    policies, include_offline)
-                for setting, config in enumerate(configs)
-            ]
+        flat = [
+            (config, repetition, tuple(policies), include_offline,
+             source, engine, offline_engine)
+            for config in configs
+            for repetition in range(config.repetitions)
+        ]
+        cells = _run_cells_parallel(flat, workers)
+        runs = []
+        cursor = 0
+        for config in configs:
+            span = cells[cursor:cursor + config.repetitions]
+            cursor += config.repetitions
+            runs.append(_merge_cells(config, span, policies,
+                                     include_offline))
     else:
         runs = [run_setting(config, policies,
                             include_offline=include_offline,

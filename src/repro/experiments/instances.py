@@ -1,0 +1,398 @@
+"""Content-addressed instance cache for the experiment harness.
+
+The paper's evaluation (Section 5.1) is sweep-shaped: every figure runs
+many policies over the *same* generated problem instances, and repeated
+benchmark invocations regenerate those instances from scratch. This
+module makes instance generation a cached, content-addressed lookup:
+
+* :func:`instance_key` — a stable SHA-256 hash over every
+  ``ExperimentConfig`` field plus the repetition index and trace source.
+  Two cells share a key iff they would generate the same instance.
+* :class:`InstanceCache` — an in-process LRU keyed on that hash, with an
+  optional on-disk store (``<key>.npz`` columns + ``<key>.json``
+  manifest) so warm instances survive across processes and benchmark
+  invocations. Hit/miss/error counters are exposed for tests and
+  reporting; any unreadable or inconsistent disk entry is regenerated
+  and rewritten, never silently served.
+* module-level configuration (:func:`configure_instances`) and a
+  picklable :func:`_pool_worker_init` so ``sweep(workers=N)`` workers
+  memoize per-process and share the same disk store.
+
+Cached instances are produced by the fast generation path by default;
+the fast path is property-tested to be seed-for-seed identical to the
+reference path, so ``fast`` is deliberately *not* part of the cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.intervals import ExecutionInterval, TInterval
+from repro.core.profile import Profile, ProfileSet
+from repro.experiments.config import ExperimentConfig
+from repro.traces.auctions import AuctionTraceSynthesizer
+from repro.traces.events import UpdateTrace
+from repro.traces.models import PoissonUpdateModel
+from repro.workloads.generator import GeneratorConfig, ProfileGenerator
+
+__all__ = [
+    "InstanceCache",
+    "instance_key",
+    "generate_instance",
+    "configure_instances",
+    "active_cache",
+    "fast_default",
+]
+
+#: Bump when the serialized layout or the generation seeding changes —
+#: stale on-disk entries from older layouts then miss instead of
+#: deserializing garbage.
+FORMAT_VERSION = 1
+
+
+def instance_key(config: ExperimentConfig, repetition: int,
+                 source: str) -> str:
+    """Content hash identifying one generated problem instance.
+
+    Covers every ``ExperimentConfig`` field (via ``dataclasses.asdict``,
+    so newly added fields are picked up automatically), the repetition
+    index and the trace source, plus the serialization format version.
+    """
+    payload = {
+        "version": FORMAT_VERSION,
+        "source": source,
+        "repetition": repetition,
+        "config": asdict(config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def generate_instance(config: ExperimentConfig, repetition: int,
+                      source: str = "poisson",
+                      fast: bool = True) -> tuple[UpdateTrace, ProfileSet]:
+    """Generate one (trace, profiles) instance — the uncached path.
+
+    Seeding folds the repetition index into the config seed, so
+    instances differ across repetitions but are fully reproducible.
+    ``fast`` selects the vectorized generation path (default); the
+    reference path produces identical instances and exists for
+    equivalence testing and as the benchmark baseline.
+    """
+    seed = config.seed + 1013 * repetition
+    epoch = config.epoch
+    resource_ids = list(range(config.num_resources))
+    if source == "poisson":
+        model = PoissonUpdateModel(config.intensity, seed=seed, fast=fast)
+        trace = model.generate(resource_ids, epoch)
+    elif source == "auction":
+        synthesizer = AuctionTraceSynthesizer(
+            config.num_resources, epoch,
+            mean_bids=max(1.0, config.intensity), seed=seed, fast=fast)
+        trace = synthesizer.generate()
+    else:
+        raise ValueError(f"unknown trace source {source!r}")
+    generator = ProfileGenerator(GeneratorConfig(
+        num_profiles=config.num_profiles,
+        max_rank=config.max_rank,
+        alpha=config.alpha,
+        beta=config.beta,
+        window=config.window,
+        grouping=config.grouping,
+        seed=seed + 1,
+    ), fast=fast)
+    profiles = generator.generate(trace, epoch,
+                                  resource_ids=resource_ids)
+    return trace, profiles
+
+
+class InstanceCache:
+    """LRU instance cache with an optional on-disk store.
+
+    Parameters
+    ----------
+    max_entries:
+        In-memory LRU capacity (instances can be large; the default
+        keeps one sweep row's worth).
+    cache_dir:
+        Optional directory for the persistent store. Created on first
+        write. Each entry is a ``<key>.npz`` (trace and EI columns) plus
+        a ``<key>.json`` manifest; writes go through a temp file and
+        ``os.replace`` so readers never observe a partial entry.
+
+    Attributes
+    ----------
+    memory_hits / disk_hits / misses / stores / disk_errors:
+        Monotonic counters; ``disk_errors`` counts corrupted or
+        unreadable entries that were regenerated instead of served.
+    """
+
+    def __init__(self, max_entries: int = 8,
+                 cache_dir: str | os.PathLike | None = None) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._entries: OrderedDict[str, tuple[UpdateTrace, ProfileSet]] \
+            = OrderedDict()
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.disk_errors = 0
+
+    def get_or_generate(self, config: ExperimentConfig, repetition: int,
+                        source: str = "poisson",
+                        fast: bool = True
+                        ) -> tuple[UpdateTrace, ProfileSet]:
+        """The instance for a cell — from memory, disk, or generation."""
+        key = instance_key(config, repetition, source)
+        cached = self._entries.get(key)
+        if cached is not None:
+            self._entries.move_to_end(key)
+            self.memory_hits += 1
+            return cached
+        if self.cache_dir is not None:
+            instance = self._load(key, config)
+            if instance is not None:
+                self.disk_hits += 1
+                self._remember(key, instance)
+                return instance
+        self.misses += 1
+        instance = generate_instance(config, repetition, source, fast=fast)
+        if self.cache_dir is not None:
+            self._store(key, config, repetition, source, instance)
+        self._remember(key, instance)
+        return instance
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (for tests and benchmark reports)."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "disk_errors": self.disk_errors,
+        }
+
+    def clear(self) -> None:
+        """Drop the in-memory entries (the disk store is untouched)."""
+        self._entries.clear()
+
+    def _remember(self, key: str,
+                  instance: tuple[UpdateTrace, ProfileSet]) -> None:
+        self._entries[key] = instance
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Disk store
+    # ------------------------------------------------------------------
+
+    def _paths(self, key: str) -> tuple[Path, Path]:
+        return (self.cache_dir / f"{key}.npz",
+                self.cache_dir / f"{key}.json")
+
+    def _store(self, key: str, config: ExperimentConfig, repetition: int,
+               source: str,
+               instance: tuple[UpdateTrace, ProfileSet]) -> None:
+        """Serialize one instance; failures are counted, not raised."""
+        trace, profiles = instance
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            columns_path, manifest_path = self._paths(key)
+            resource_ids, chronons = trace.as_arrays()
+            payloads = [event.payload for event in trace] \
+                if _has_payloads(trace) else None
+            ei_rows = _profile_columns(profiles)
+            manifest = {
+                "version": FORMAT_VERSION,
+                "key": key,
+                "source": source,
+                "repetition": repetition,
+                "config": asdict(config),
+                "profile_names": [profile.name for profile in profiles],
+                "payloads": payloads,
+            }
+            with tempfile.NamedTemporaryFile(
+                    dir=self.cache_dir, suffix=".npz.tmp",
+                    delete=False) as handle:
+                np.savez(handle,
+                         trace_resource_ids=resource_ids,
+                         trace_chronons=chronons,
+                         **ei_rows)
+                tmp_columns = handle.name
+            os.replace(tmp_columns, columns_path)
+            with tempfile.NamedTemporaryFile(
+                    mode="w", dir=self.cache_dir, suffix=".json.tmp",
+                    delete=False) as handle:
+                json.dump(manifest, handle)
+                tmp_manifest = handle.name
+            # The manifest lands last: its presence marks a complete entry.
+            os.replace(tmp_manifest, manifest_path)
+            self.stores += 1
+        except OSError:
+            self.disk_errors += 1
+
+    def _load(self, key: str,
+              config: ExperimentConfig
+              ) -> tuple[UpdateTrace, ProfileSet] | None:
+        """Deserialize one instance; any inconsistency yields ``None``.
+
+        Every failure mode — missing columns file, truncated npz,
+        malformed JSON, version skew, key mismatch, out-of-range
+        chronons (``UpdateTrace.from_columns`` re-validates) — is
+        treated as a miss so the instance is regenerated and rewritten.
+        """
+        columns_path, manifest_path = self._paths(key)
+        if not manifest_path.exists():
+            return None
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+            if (manifest.get("version") != FORMAT_VERSION
+                    or manifest.get("key") != key):
+                raise ValueError("manifest version/key mismatch")
+            with np.load(columns_path) as columns:
+                trace = UpdateTrace.from_columns(
+                    columns["trace_chronons"],
+                    columns["trace_resource_ids"],
+                    config.epoch,
+                    payloads=manifest.get("payloads"))
+                profiles = _profiles_from_columns(
+                    columns, manifest["profile_names"])
+            return trace, profiles
+        except Exception:
+            self.disk_errors += 1
+            return None
+
+
+def _has_payloads(trace: UpdateTrace) -> bool:
+    """True when any event of the trace carries a payload."""
+    return any(event.payload is not None for event in trace)
+
+
+def _profile_columns(profiles: ProfileSet) -> dict[str, np.ndarray]:
+    """Flatten a profile set into parallel EI columns.
+
+    One row per EI: ``(profile, tinterval, resource, start, finish)``.
+    Row order is (profile, tinterval, slot) — exactly the order the
+    stamped reconstruction in :func:`_profiles_from_columns` walks.
+    """
+    rows: list[tuple[int, int, int, int, int]] = []
+    for profile in profiles:
+        for eta in profile:
+            for ei in eta:
+                rows.append((profile.profile_id, eta.tinterval_id,
+                             ei.resource_id, ei.start, ei.finish))
+    table = np.asarray(rows, dtype=np.int64).reshape(len(rows), 5)
+    return {
+        "ei_profile": table[:, 0],
+        "ei_tinterval": table[:, 1],
+        "ei_resource": table[:, 2],
+        "ei_start": table[:, 3],
+        "ei_finish": table[:, 4],
+    }
+
+
+def _profiles_from_columns(columns, names: list[str]) -> ProfileSet:
+    """Rebuild a ProfileSet from the EI columns of a cache entry.
+
+    Rows are stored in (profile, tinterval, slot) order, so one linear
+    pass regroups them; ids are stamped during assembly (positions in
+    the columns ARE the ids), making the ``ProfileSet`` attach a no-op.
+    """
+    ei_profile = columns["ei_profile"].tolist()
+    ei_tinterval = columns["ei_tinterval"].tolist()
+    ei_resource = columns["ei_resource"].tolist()
+    ei_start = columns["ei_start"].tolist()
+    ei_finish = columns["ei_finish"].tolist()
+    profiles: list[Profile] = []
+    tintervals: list[TInterval] = []
+    members: list[ExecutionInterval] = []
+    for row, profile_id in enumerate(ei_profile):
+        while len(profiles) < profile_id:
+            _flush_tinterval(tintervals, members, len(profiles))
+            profiles.append(Profile.from_stamped(
+                tuple(tintervals), len(profiles), names[len(profiles)]))
+            tintervals = []
+        if ei_tinterval[row] != len(tintervals):
+            _flush_tinterval(tintervals, members, profile_id)
+        members.append(ExecutionInterval(
+            ei_resource[row], ei_start[row], ei_finish[row],
+            ei_id=len(members)))
+    while len(profiles) < len(names):
+        _flush_tinterval(tintervals, members, len(profiles))
+        profiles.append(Profile.from_stamped(
+            tuple(tintervals), len(profiles), names[len(profiles)]))
+        tintervals = []
+        members = []
+    return ProfileSet(profiles)
+
+
+def _flush_tinterval(tintervals: list[TInterval],
+                     members: list[ExecutionInterval],
+                     profile_id: int) -> None:
+    """Close the t-interval under assembly, if any, stamping its ids."""
+    if members:
+        tintervals.append(TInterval.from_stamped(
+            tuple(members), tinterval_id=len(tintervals),
+            profile_id=profile_id))
+        members.clear()
+
+
+# ----------------------------------------------------------------------
+# Module-level configuration (shared by harness, CLI and pool workers)
+# ----------------------------------------------------------------------
+
+_ACTIVE_CACHE = InstanceCache()
+_FAST_DEFAULT = True
+
+
+def configure_instances(cache_dir: str | os.PathLike | None = None,
+                        fast: bool | None = None,
+                        max_entries: int | None = None) -> InstanceCache:
+    """(Re)configure the process-wide instance cache and fast default.
+
+    Called by the CLI (``--cache-dir`` / ``--no-fast-gen``) and by pool
+    worker initializers; returns the new active cache. Omitted arguments
+    keep their current values (``cache_dir=None`` disables the disk
+    store, matching the flag's absence).
+    """
+    global _ACTIVE_CACHE, _FAST_DEFAULT
+    if fast is not None:
+        _FAST_DEFAULT = fast
+    entries = max_entries if max_entries is not None \
+        else _ACTIVE_CACHE.max_entries
+    _ACTIVE_CACHE = InstanceCache(max_entries=entries, cache_dir=cache_dir)
+    return _ACTIVE_CACHE
+
+
+def active_cache() -> InstanceCache:
+    """The process-wide cache consulted by ``make_instance``."""
+    return _ACTIVE_CACHE
+
+
+def fast_default() -> bool:
+    """Whether generation defaults to the fast path in this process."""
+    return _FAST_DEFAULT
+
+
+def _pool_worker_init(cache_dir: str | None, fast: bool) -> None:
+    """ProcessPoolExecutor initializer: per-worker memoized cache.
+
+    Workers inherit the parent's cache *configuration* (not its
+    contents): each worker process memoizes the instances of the cells
+    it receives, and a shared ``cache_dir`` lets workers reuse each
+    other's stored instances across invocations.
+    """
+    configure_instances(cache_dir=cache_dir, fast=fast)

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.core.errors import TraceFormatError
 from repro.core.timeline import Chronon, Epoch
 
@@ -56,12 +58,16 @@ class UpdateTrace:
         The epoch the trace spans. Events outside the epoch are rejected.
     """
 
-    __slots__ = ("_events", "_by_resource", "epoch")
+    __slots__ = ("_events", "_by_resource", "epoch", "_arrays",
+                 "_payloads", "_unique_chronons", "__weakref__")
 
     def __init__(self, events: Iterable[UpdateEvent], epoch: Epoch) -> None:
         self.epoch = epoch
-        self._events: tuple[UpdateEvent, ...] = tuple(sorted(events))
-        self._by_resource: dict[int, list[UpdateEvent]] = {}
+        self._events: tuple[UpdateEvent, ...] | None = tuple(sorted(events))
+        self._by_resource: dict[int, list[UpdateEvent]] | None = {}
+        self._arrays: tuple[np.ndarray, np.ndarray] | None = None
+        self._payloads: list[str] | None = None
+        self._unique_chronons: dict[int, np.ndarray] = {}
         for event in self._events:
             if event.chronon not in epoch:
                 raise TraceFormatError(
@@ -70,23 +76,154 @@ class UpdateTrace:
                 )
             self._by_resource.setdefault(event.resource_id, []).append(event)
 
+    @classmethod
+    def from_columns(cls, chronons: np.ndarray, resource_ids: np.ndarray,
+                     epoch: Epoch,
+                     payloads: list[str] | None = None) -> "UpdateTrace":
+        """Build a trace from columnar arrays (the fast-generation path).
+
+        Validation happens vectorized and the columns are stored
+        directly in timeline order; :class:`UpdateEvent` objects are
+        materialized lazily, the first time something iterates the trace
+        (the vectorized restriction/template consumers never do — they
+        read the columns). The result is equal to
+        ``UpdateTrace(events, epoch)`` over the same data.
+
+        Raises
+        ------
+        TraceFormatError
+            On mismatched column lengths or chronons/resources outside
+            their valid ranges (also the corrupted-cache-entry guard).
+        """
+        chronons = np.asarray(chronons, dtype=np.int64)
+        resource_ids = np.asarray(resource_ids, dtype=np.int64)
+        if chronons.shape != resource_ids.shape or chronons.ndim != 1:
+            raise TraceFormatError(
+                f"mismatched trace columns: {chronons.shape} chronons vs "
+                f"{resource_ids.shape} resource ids"
+            )
+        if payloads is not None and len(payloads) != chronons.size:
+            raise TraceFormatError(
+                f"mismatched trace columns: {len(payloads)} payloads vs "
+                f"{chronons.size} events"
+            )
+        if chronons.size:
+            if int(chronons.min()) < 1 or int(chronons.max()) > epoch.length:
+                raise TraceFormatError(
+                    f"event chronons outside epoch [1, {epoch.length}]"
+                )
+            if int(resource_ids.min()) < 0:
+                raise TraceFormatError("negative resource id in trace")
+        if payloads is None:
+            order = np.lexsort((resource_ids, chronons))
+            sorted_payloads = None
+        else:
+            payload_keys = np.asarray(payloads, dtype=np.str_)
+            order = np.lexsort((payload_keys, resource_ids, chronons))
+            sorted_payloads = [payloads[index] for index in order.tolist()]
+        trace = cls.__new__(cls)
+        trace.epoch = epoch
+        trace._events = None
+        trace._by_resource = None
+        trace._arrays = (resource_ids[order], chronons[order])
+        trace._payloads = sorted_payloads
+        trace._unique_chronons = {}
+        return trace
+
+    def _materialize(self) -> tuple[UpdateEvent, ...]:
+        """Build the event objects of a column-constructed trace."""
+        if self._events is None:
+            resource_ids, chronons = self._arrays
+            if self._payloads is None:
+                self._events = tuple(
+                    UpdateEvent(chronon, resource_id)
+                    for chronon, resource_id
+                    in zip(chronons.tolist(), resource_ids.tolist()))
+            else:
+                self._events = tuple(
+                    UpdateEvent(chronon, resource_id, payload)
+                    for chronon, resource_id, payload
+                    in zip(chronons.tolist(), resource_ids.tolist(),
+                           self._payloads))
+        if self._by_resource is None:
+            by_resource: dict[int, list[UpdateEvent]] = {}
+            for event in self._events:
+                by_resource.setdefault(event.resource_id, []).append(event)
+            self._by_resource = by_resource
+        return self._events
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cached columnar view: ``(resource_ids, chronons)`` in event order.
+
+        The structure-of-arrays form that the vectorized restriction and
+        template paths consume with ``np.searchsorted`` instead of
+        iterating event objects.
+        """
+        if self._arrays is None:
+            count = len(self._events)
+            resource_ids = np.fromiter(
+                (event.resource_id for event in self._events),
+                dtype=np.int64, count=count)
+            chronons = np.fromiter(
+                (event.chronon for event in self._events),
+                dtype=np.int64, count=count)
+            self._arrays = (resource_ids, chronons)
+        return self._arrays
+
+    def unique_chronons(self, resource_id: int) -> np.ndarray:
+        """Cached array of deduplicated, sorted update chronons.
+
+        Vectorized counterpart of :meth:`update_chronons` (events are
+        stored sorted, so first-seen order equals ascending order); the
+        array is computed once per resource and shared by every profile
+        that watches the resource.
+        """
+        cached = self._unique_chronons.get(resource_id)
+        if cached is None:
+            if self._by_resource is None:
+                resource_ids, chronons = self._arrays
+                mine = chronons[resource_ids == resource_id]
+            else:
+                events = self._by_resource.get(resource_id, ())
+                mine = np.fromiter(
+                    (event.chronon for event in events),
+                    dtype=np.int64, count=len(events))
+            # Events are stored chronon-sorted, so a keep-first mask
+            # dedups without the sort inside np.unique.
+            if mine.size:
+                keep = np.empty(mine.size, dtype=bool)
+                keep[0] = True
+                np.not_equal(mine[1:], mine[:-1], out=keep[1:])
+                cached = mine[keep]
+            else:
+                cached = mine
+            self._unique_chronons[resource_id] = cached
+        return cached
+
     def __len__(self) -> int:
+        if self._events is None:
+            return int(self._arrays[0].size)
         return len(self._events)
 
     def __iter__(self) -> Iterator[UpdateEvent]:
-        return iter(self._events)
+        return iter(self._materialize())
 
     @property
     def resource_ids(self) -> list[int]:
         """Resources that have at least one event, ascending."""
+        if self._by_resource is None:
+            return np.unique(self._arrays[0]).tolist()
         return sorted(self._by_resource)
 
     def events_for(self, resource_id: int) -> tuple[UpdateEvent, ...]:
         """All events of one resource in chronon order."""
+        self._materialize()
         return tuple(self._by_resource.get(resource_id, ()))
 
     def update_chronons(self, resource_id: int) -> list[Chronon]:
         """Chronons (deduplicated, sorted) at which the resource updates."""
+        if self._by_resource is None:
+            return self.unique_chronons(resource_id).tolist()
         seen: set[Chronon] = set()
         result: list[Chronon] = []
         for event in self._by_resource.get(resource_id, ()):
@@ -97,6 +234,8 @@ class UpdateTrace:
 
     def count_for(self, resource_id: int) -> int:
         """Number of events on one resource."""
+        if self._by_resource is None:
+            return int(np.count_nonzero(self._arrays[0] == resource_id))
         return len(self._by_resource.get(resource_id, ()))
 
     def mean_intensity(self) -> float:
@@ -105,22 +244,24 @@ class UpdateTrace:
         This is the empirical counterpart of the paper's ``lambda``
         parameter ("average updates intensity per resource").
         """
-        if not self._by_resource:
+        if len(self) == 0:
             return 0.0
-        return len(self._events) / len(self._by_resource)
+        return len(self) / len(self.resource_ids)
 
     def restricted_to(self, resource_ids: Iterable[int]) -> "UpdateTrace":
         """A sub-trace containing only the given resources."""
         wanted = set(resource_ids)
         return UpdateTrace(
-            (event for event in self._events if event.resource_id in wanted),
+            (event for event in self._materialize()
+             if event.resource_id in wanted),
             self.epoch,
         )
 
     def merged_with(self, other: "UpdateTrace") -> "UpdateTrace":
         """Union of two traces over the longer of the two epochs."""
         epoch = Epoch(max(self.epoch.length, other.epoch.length))
-        return UpdateTrace(list(self._events) + list(other._events), epoch)
+        return UpdateTrace(
+            list(self._materialize()) + list(other._materialize()), epoch)
 
     # ------------------------------------------------------------------
     # CSV round-trip (real-trace drop-in path)
@@ -132,7 +273,7 @@ class UpdateTrace:
         with path.open("w", newline="") as handle:
             writer = csv.writer(handle)
             writer.writerow(["resource_id", "chronon", "payload"])
-            for event in self._events:
+            for event in self._materialize():
                 writer.writerow([event.resource_id, event.chronon,
                                  event.payload])
 
@@ -185,5 +326,5 @@ class UpdateTrace:
         return cls(events, epoch)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return (f"UpdateTrace(events={len(self._events)}, "
-                f"resources={len(self._by_resource)}, K={self.epoch.length})")
+        return (f"UpdateTrace(events={len(self)}, "
+                f"resources={len(self.resource_ids)}, K={self.epoch.length})")

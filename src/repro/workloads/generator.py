@@ -17,6 +17,7 @@ in three stages:
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -87,6 +88,59 @@ class GeneratorConfig:
         return WindowRestriction(self.window)
 
 
+class _UniformBuffer:
+    """Chunked ``rng.random`` draws, handed out one slice at a time.
+
+    numpy array fills consume the uniform stream exactly as sequential
+    scalar ``rng.random()`` calls do, so reading slices off a refilled
+    buffer is indistinguishable — variate for variate — from the
+    reference generator's one-draw-at-a-time pattern.
+    """
+
+    __slots__ = ("_rng", "_chunk", "_buffer", "_position")
+
+    def __init__(self, rng: np.random.Generator, chunk: int = 512) -> None:
+        self._rng = rng
+        self._chunk = chunk
+        self._buffer = rng.random(chunk)
+        self._position = 0
+
+    def take(self, count: int) -> np.ndarray:
+        """The next ``count`` uniforms of the stream.
+
+        May return a read-only view into the internal buffer (callers
+        consume the draws immediately and never write to them).
+        """
+        position = self._position
+        if position + count <= self._buffer.size:
+            self._position = position + count
+            return self._buffer[position:position + count]
+        out = np.empty(count)
+        filled = 0
+        while filled < count:
+            available = self._buffer.size - self._position
+            if not available:
+                self._buffer = self._rng.random(
+                    max(self._chunk, count - filled))
+                self._position = 0
+                available = self._buffer.size
+            used = min(available, count - filled)
+            out[filled:filled + used] = \
+                self._buffer[self._position:self._position + used]
+            self._position += used
+            filled += used
+        return out
+
+    def take_one(self) -> float:
+        """The next single uniform of the stream."""
+        if self._position >= self._buffer.size:
+            self._buffer = self._rng.random(self._chunk)
+            self._position = 0
+        value = float(self._buffer[self._position])
+        self._position += 1
+        return value
+
+
 class ProfileGenerator:
     """Generates a :class:`ProfileSet` from a trace and a config.
 
@@ -97,14 +151,25 @@ class ProfileGenerator:
     template:
         Optional template override; defaults to AuctionWatch with the
         config's restriction and grouping.
+    fast:
+        Selects the buffered-uniform sampling path and (for the default
+        AuctionWatch template) the vectorized profile build. The fast
+        path draws its uniforms from the same stream in the same order
+        as the reference path — rank draws through the Zipf CDF,
+        resource draws through an exact replay of numpy's
+        without-replacement ``choice`` — so the generated profile sets
+        are identical for any seed.
     """
 
     def __init__(self, config: GeneratorConfig,
-                 template: ProfileTemplate | None = None) -> None:
+                 template: ProfileTemplate | None = None,
+                 fast: bool = True) -> None:
         self.config = config
+        self._fast = fast
         if template is None:
             template = AuctionWatchTemplate(
-                config.restriction(), grouping=config.grouping)  # type: ignore[arg-type]
+                config.restriction(), grouping=config.grouping,  # type: ignore[arg-type]
+                fast=fast)
         self._template = template
 
     def generate(self, trace: UpdateTrace, epoch: Epoch,
@@ -137,13 +202,45 @@ class ProfileGenerator:
                                 rng=rng)
         resource_dist = BoundedZipf(self.config.alpha, len(resource_ids),
                                     rng=rng)
+        # Only the fast path pre-stamps profile ids; the reference path
+        # keeps the original build-then-attach flow as the behavioral
+        # (and benchmark) baseline.
+        builds_attached = self._fast and _accepts_profile_id(self._template)
+        uniforms = _UniformBuffer(rng) if self._fast else None
         profiles: list[Profile] = []
         for index in range(self.config.num_profiles):
-            rank = min(rank_dist.sample(), len(resource_ids))
-            positions = resource_dist.sample_distinct(rank)
+            if uniforms is not None:
+                # Same uniform stream as the reference draws below; the
+                # rng itself is only touched through the buffer.
+                rank = min(rank_dist.sample_from(uniforms.take_one()),
+                           len(resource_ids))
+                positions = resource_dist.sample_distinct_from(
+                    rank, uniforms.take)
+            else:
+                rank = min(rank_dist.sample(), len(resource_ids))
+                positions = resource_dist.sample_distinct(rank)
             chosen = [resource_ids[position - 1] for position in positions]
-            profile = self._template.build_profile(
-                chosen, trace, epoch,
-                name=f"AuctionWatch({rank})#{index}")
+            name = f"AuctionWatch({rank})#{index}"
+            if builds_attached:
+                # Pre-stamping the profile id makes the ProfileSet
+                # attachment below a no-op instead of a deep copy.
+                profile = self._template.build_profile(
+                    chosen, trace, epoch, name=name, profile_id=index)
+            else:
+                profile = self._template.build_profile(
+                    chosen, trace, epoch, name=name)
             profiles.append(profile)
         return ProfileSet(profiles)
+
+
+def _accepts_profile_id(template: object) -> bool:
+    """True when the template's ``build_profile`` takes ``profile_id``.
+
+    The bundled templates all do; duck-typed user templates predating
+    the parameter keep working through the unattached call.
+    """
+    try:
+        parameters = inspect.signature(template.build_profile).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    return "profile_id" in parameters

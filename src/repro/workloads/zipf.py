@@ -15,6 +15,8 @@ explicitly: ``P(i) ∝ 1 / i^theta`` over ``i in {1..size}``.
 
 from __future__ import annotations
 
+from bisect import bisect_right
+
 import numpy as np
 
 __all__ = ["BoundedZipf"]
@@ -33,7 +35,8 @@ class BoundedZipf:
         Optional numpy Generator (a fresh default one is created if absent).
     """
 
-    __slots__ = ("theta", "size", "_rng", "_pmf", "_cdf")
+    __slots__ = ("theta", "size", "_rng", "_pmf", "_cdf", "_cdf_list",
+                 "_choice_cdf", "_choice_cdf_list")
 
     def __init__(self, theta: float, size: int,
                  rng: np.random.Generator | None = None) -> None:
@@ -48,6 +51,12 @@ class BoundedZipf:
         weights = ranks ** (-theta)
         self._pmf = weights / weights.sum()
         self._cdf = np.cumsum(self._pmf)
+        # List mirror of the CDF: scalar inversions go through C
+        # ``bisect`` (same right-insertion rule as ``searchsorted``,
+        # same float comparisons) without numpy's per-call dispatch.
+        self._cdf_list = self._cdf.tolist()
+        self._choice_cdf: np.ndarray | None = None
+        self._choice_cdf_list: list[float] | None = None
 
     def pmf(self, value: int) -> float:
         """Probability of drawing ``value`` (1-based)."""
@@ -55,10 +64,30 @@ class BoundedZipf:
             return 0.0
         return float(self._pmf[value - 1])
 
-    def sample(self) -> int:
-        """Draw one value in ``{1..size}``."""
-        u = self._rng.random()
-        return int(np.searchsorted(self._cdf, u, side="right")) + 1
+    def sample(self, size: int | None = None) -> int | np.ndarray:
+        """Draw one value in ``{1..size}``, or ``size`` values at once.
+
+        The batch form consumes the RNG stream exactly as ``size``
+        scalar calls would (numpy fills uniform arrays from the same
+        stream), so batched and one-at-a-time sampling are
+        interchangeable without changing realizations.
+        """
+        if size is None:
+            u = self._rng.random()
+            return bisect_right(self._cdf_list, u) + 1
+        if size < 0:
+            raise ValueError(f"size must be >= 0, got {size}")
+        u = self._rng.random(size)
+        return self._cdf.searchsorted(u, side="right") + 1
+
+    def sample_from(self, u: float) -> int:
+        """Map an externally drawn uniform to a value (1-based).
+
+        Lets callers that manage their own uniform buffer (the fast
+        profile-generator path) reuse the precomputed CDF while keeping
+        the exact inverse-CDF transform of :meth:`sample`.
+        """
+        return bisect_right(self._cdf_list, u) + 1
 
     def sample_many(self, count: int) -> np.ndarray:
         """Draw ``count`` i.i.d. values (1-based)."""
@@ -89,6 +118,69 @@ class BoundedZipf:
         chosen = self._rng.choice(self.size, size=count, replace=False,
                                   p=self._pmf)
         return [int(value) + 1 for value in chosen]
+
+    def sample_distinct_from(self, count: int,
+                             take_uniform) -> list[int]:
+        """Weighted sampling without replacement from external uniforms.
+
+        Replays ``Generator.choice(replace=False, p=...)`` exactly:
+        numpy's implementation repeatedly draws ``count - n_uniq``
+        uniforms, zeroes already-found entries, renormalizes the CDF and
+        inverts it, keeping first occurrences. Feeding it uniforms from
+        the same stream (``take_uniform(n)`` standing in for
+        ``rng.random(n)``) therefore yields the same values in the same
+        order as :meth:`sample_distinct` — which stays as the reference
+        implementation.
+
+        Raises
+        ------
+        ValueError
+            If ``count`` exceeds the support size.
+        """
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if count > self.size:
+            raise ValueError(
+                f"cannot draw {count} distinct values from support of size "
+                f"{self.size}"
+            )
+        if count == 0:
+            return []
+        # First round: nothing is zeroed yet, so the renormalized CDF
+        # numpy builds internally is a constant of the distribution —
+        # precompute it once (cumsum then in-place normalize, the exact
+        # float operations of the reference) instead of per call.
+        if self._choice_cdf is None:
+            cdf = np.cumsum(self._pmf)
+            cdf /= cdf[-1]
+            self._choice_cdf = cdf
+            self._choice_cdf_list = cdf.tolist()
+        draws = take_uniform(count)
+        choice_cdf = self._choice_cdf_list
+        if count == 1:
+            return [bisect_right(choice_cdf, draws[0]) + 1]
+        hits = [bisect_right(choice_cdf, u) for u in draws.tolist()]
+        found_list = list(dict.fromkeys(hits))
+        if len(found_list) == count:
+            return [value + 1 for value in found_list]
+        # Collision: fall back to the generic rejection loop, zeroing
+        # already-found entries exactly as numpy's choice does.
+        weights = self._pmf.copy()
+        found = np.zeros(count, dtype=np.int64)
+        found[0:len(found_list)] = found_list
+        n_uniq = len(found_list)
+        while n_uniq < count:
+            draws = take_uniform(count - n_uniq)
+            weights[found[0:n_uniq]] = 0
+            cdf = np.cumsum(weights)
+            cdf /= cdf[-1]
+            new = cdf.searchsorted(draws, side="right")
+            _, unique_indices = np.unique(new, return_index=True)
+            unique_indices.sort()
+            new = new.take(unique_indices)
+            found[n_uniq:n_uniq + new.size] = new
+            n_uniq += new.size
+        return [int(value) + 1 for value in found]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BoundedZipf(theta={self.theta}, size={self.size})"

@@ -1,0 +1,200 @@
+"""Instance cache: key sensitivity, disk round-trips, corruption handling.
+
+The cache key must cover *every* field that influences generation —
+every ``ExperimentConfig`` field, the repetition index and the trace
+source — so no two distinct cells can ever collide. The disk store must
+never serve a corrupted or partial entry: every damage mode is detected,
+counted in ``disk_errors`` and answered by regeneration.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import make_instance
+from repro.experiments.instances import (
+    FORMAT_VERSION,
+    InstanceCache,
+    configure_instances,
+    generate_instance,
+    instance_key,
+)
+
+BASE = ExperimentConfig(epoch_length=30, num_resources=6, num_profiles=8,
+                        intensity=4.0, window=5, repetitions=1,
+                        grouping="overlap", seed=42)
+
+
+def perturb(config: ExperimentConfig, field: dataclasses.Field):
+    """A value for ``field`` differing from ``config``'s current one."""
+    value = getattr(config, field.name)
+    if field.name == "grouping":
+        return "indexed" if value == "overlap" else "overlap"
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 0.5
+    raise AssertionError(
+        f"add a perturbation rule for new config field {field.name!r}")
+
+
+def profiles_equal(left, right) -> bool:
+    ls, rs = list(left), list(right)
+    if len(ls) != len(rs):
+        return False
+    return all(a.profile_id == b.profile_id and a.name == b.name
+               and tuple(a) == tuple(b) for a, b in zip(ls, rs))
+
+
+class TestInstanceKey:
+    def test_stable(self):
+        assert instance_key(BASE, 0, "poisson") \
+            == instance_key(BASE, 0, "poisson")
+
+    @pytest.mark.parametrize(
+        "field", dataclasses.fields(ExperimentConfig),
+        ids=lambda field: field.name)
+    def test_every_config_field_perturbs_the_key(self, field):
+        changed = BASE.with_(**{field.name: perturb(BASE, field)})
+        assert instance_key(changed, 0, "poisson") \
+            != instance_key(BASE, 0, "poisson")
+
+    def test_repetition_perturbs_the_key(self):
+        assert instance_key(BASE, 0, "poisson") \
+            != instance_key(BASE, 1, "poisson")
+
+    def test_source_perturbs_the_key(self):
+        assert instance_key(BASE, 0, "poisson") \
+            != instance_key(BASE, 0, "auction")
+
+
+class TestMemoryCache:
+    def test_hit_returns_same_objects(self):
+        cache = InstanceCache(max_entries=2)
+        first = cache.get_or_generate(BASE, 0)
+        second = cache.get_or_generate(BASE, 0)
+        assert first[0] is second[0] and first[1] is second[1]
+        assert cache.stats() == {"memory_hits": 1, "disk_hits": 0,
+                                 "misses": 1, "stores": 0,
+                                 "disk_errors": 0}
+
+    def test_lru_evicts_oldest(self):
+        cache = InstanceCache(max_entries=2)
+        cache.get_or_generate(BASE, 0)
+        cache.get_or_generate(BASE, 1)
+        cache.get_or_generate(BASE, 2)  # evicts repetition 0
+        cache.get_or_generate(BASE, 0)
+        assert cache.misses == 4
+
+    def test_max_entries_validated(self):
+        with pytest.raises(ValueError):
+            InstanceCache(max_entries=0)
+
+
+class TestDiskStore:
+    def test_round_trip_identical(self, tmp_path):
+        writer = InstanceCache(cache_dir=tmp_path)
+        trace, profiles = writer.get_or_generate(BASE, 0)
+        assert writer.stores == 1
+        reader = InstanceCache(cache_dir=tmp_path)
+        disk_trace, disk_profiles = reader.get_or_generate(BASE, 0)
+        assert reader.disk_hits == 1 and reader.misses == 0
+        assert list(disk_trace) == list(trace)
+        assert profiles_equal(disk_profiles, profiles)
+
+    def test_auction_payloads_survive(self, tmp_path):
+        writer = InstanceCache(cache_dir=tmp_path)
+        trace, _ = writer.get_or_generate(BASE, 0, "auction")
+        reader = InstanceCache(cache_dir=tmp_path)
+        disk_trace, _ = reader.get_or_generate(BASE, 0, "auction")
+        assert reader.disk_hits == 1
+        assert [event.payload for event in disk_trace] \
+            == [event.payload for event in trace]
+
+    def _entry_paths(self, tmp_path):
+        key = instance_key(BASE, 0, "poisson")
+        return tmp_path / f"{key}.npz", tmp_path / f"{key}.json"
+
+    def _assert_regenerated(self, tmp_path, expect_error=True):
+        """A fresh cache must regenerate (not serve) the damaged entry."""
+        fresh_trace, fresh_profiles = generate_instance(BASE, 0)
+        cache = InstanceCache(cache_dir=tmp_path)
+        trace, profiles = cache.get_or_generate(BASE, 0)
+        assert cache.disk_hits == 0 and cache.misses == 1
+        assert cache.disk_errors == (1 if expect_error else 0)
+        assert list(trace) == list(fresh_trace)
+        assert profiles_equal(profiles, fresh_profiles)
+        # The miss rewrites the entry; the store is healthy again.
+        healed = InstanceCache(cache_dir=tmp_path)
+        healed.get_or_generate(BASE, 0)
+        assert healed.disk_hits == 1 and healed.disk_errors == 0
+
+    def test_truncated_npz_regenerated(self, tmp_path):
+        InstanceCache(cache_dir=tmp_path).get_or_generate(BASE, 0)
+        columns_path, _ = self._entry_paths(tmp_path)
+        columns_path.write_bytes(columns_path.read_bytes()[:40])
+        self._assert_regenerated(tmp_path)
+
+    def test_malformed_manifest_regenerated(self, tmp_path):
+        InstanceCache(cache_dir=tmp_path).get_or_generate(BASE, 0)
+        _, manifest_path = self._entry_paths(tmp_path)
+        manifest_path.write_text("{not json", encoding="utf-8")
+        self._assert_regenerated(tmp_path)
+
+    def test_version_skew_regenerated(self, tmp_path):
+        InstanceCache(cache_dir=tmp_path).get_or_generate(BASE, 0)
+        _, manifest_path = self._entry_paths(tmp_path)
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        manifest["version"] = FORMAT_VERSION + 1
+        manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+        self._assert_regenerated(tmp_path)
+
+    def test_missing_columns_file_regenerated(self, tmp_path):
+        InstanceCache(cache_dir=tmp_path).get_or_generate(BASE, 0)
+        columns_path, _ = self._entry_paths(tmp_path)
+        columns_path.unlink()
+        self._assert_regenerated(tmp_path)
+
+    def test_partial_entry_without_manifest_is_plain_miss(self, tmp_path):
+        """npz written but no manifest (interrupted store) = clean miss."""
+        InstanceCache(cache_dir=tmp_path).get_or_generate(BASE, 0)
+        _, manifest_path = self._entry_paths(tmp_path)
+        manifest_path.unlink()
+        self._assert_regenerated(tmp_path, expect_error=False)
+
+    def test_out_of_range_chronons_regenerated(self, tmp_path):
+        """Damaged column values fail trace re-validation, not serve."""
+        import numpy as np
+        InstanceCache(cache_dir=tmp_path).get_or_generate(BASE, 0)
+        columns_path, _ = self._entry_paths(tmp_path)
+        with np.load(columns_path) as columns:
+            data = {name: columns[name] for name in columns.files}
+        data["trace_chronons"] = data["trace_chronons"] + 10_000
+        np.savez(columns_path, **data)
+        self._assert_regenerated(tmp_path)
+
+
+class TestProcessWideConfiguration:
+    def test_make_instance_uses_configured_cache(self, tmp_path):
+        try:
+            cache = configure_instances(cache_dir=tmp_path)
+            make_instance(BASE, 0)
+            assert cache.misses == 1 and cache.stores == 1
+            make_instance(BASE, 0)
+            assert cache.memory_hits == 1
+        finally:
+            configure_instances(cache_dir=None)
+
+    def test_fast_default_round_trip(self):
+        from repro.experiments.instances import fast_default
+        try:
+            configure_instances(fast=False)
+            assert fast_default() is False
+            configure_instances(fast=True)
+            assert fast_default() is True
+        finally:
+            configure_instances(cache_dir=None, fast=True)

@@ -1,0 +1,105 @@
+"""Equivalence properties: fast instance generation IS the reference.
+
+The vectorized generation path (batched numpy sampling in the update
+models, bulk-derived columnar EI streams in the templates) exists purely
+as an optimization: for every seed, source and configuration it must
+produce the *same* problem instance as the event-at-a-time reference
+path — the byte-identical update trace and structurally equal profiles.
+The content-addressed :class:`~repro.experiments.instances.InstanceCache`
+must likewise be invisible: a cache hit returns the same instance a
+fresh miss would have generated.
+"""
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.instances import (
+    InstanceCache,
+    generate_instance,
+)
+
+
+def profiles_equal(left, right) -> bool:
+    """Structural ProfileSet equality (ids, names, t-intervals, EIs)."""
+    ls, rs = list(left), list(right)
+    if len(ls) != len(rs):
+        return False
+    for a, b in zip(ls, rs):
+        if (a.profile_id != b.profile_id or a.name != b.name
+                or tuple(a) != tuple(b)):
+            return False
+    return True
+
+
+@st.composite
+def configs(draw) -> ExperimentConfig:
+    window = draw(st.sampled_from([0, 2, 5, 10]))
+    alpha, beta = draw(st.sampled_from(
+        [(0.0, 0.0), (1.37, 0.0), (0.0, 0.8), (1.37, 0.8)]))
+    return ExperimentConfig(
+        epoch_length=draw(st.sampled_from([20, 40, 60])),
+        num_resources=draw(st.integers(2, 12)),
+        num_profiles=draw(st.integers(1, 12)),
+        intensity=draw(st.sampled_from([0.5, 2.0, 6.0, 12.0])),
+        window=window,
+        repetitions=1,
+        grouping=draw(st.sampled_from(["indexed", "overlap"])),
+        seed=draw(st.integers(0, 2**16)),
+        alpha=alpha,
+        beta=beta,
+    )
+
+
+class TestFastEqualsReference:
+    @given(config=configs(),
+           source=st.sampled_from(["poisson", "auction"]),
+           repetition=st.integers(0, 3))
+    @settings(max_examples=80, deadline=None)
+    def test_identical_instances(self, config, source, repetition):
+        fast_trace, fast_profiles = generate_instance(
+            config, repetition, source, fast=True)
+        ref_trace, ref_profiles = generate_instance(
+            config, repetition, source, fast=False)
+        assert list(fast_trace) == list(ref_trace)
+        assert profiles_equal(fast_profiles, ref_profiles)
+
+    @given(config=configs(), source=st.sampled_from(["poisson", "auction"]))
+    @settings(max_examples=40, deadline=None)
+    def test_regeneration_is_deterministic(self, config, source):
+        first = generate_instance(config, 0, source, fast=True)
+        second = generate_instance(config, 0, source, fast=True)
+        assert list(first[0]) == list(second[0])
+        assert profiles_equal(first[1], second[1])
+
+
+class TestCacheTransparency:
+    @given(config=configs(), source=st.sampled_from(["poisson", "auction"]))
+    @settings(max_examples=40, deadline=None)
+    def test_memory_hit_equals_fresh_miss(self, config, source):
+        cache = InstanceCache(max_entries=4)
+        miss_trace, miss_profiles = cache.get_or_generate(config, 0, source)
+        hit_trace, hit_profiles = cache.get_or_generate(config, 0, source)
+        stats = cache.stats()
+        assert stats["misses"] == 1 and stats["memory_hits"] == 1
+        assert hit_trace is miss_trace and hit_profiles is miss_profiles
+        fresh_trace, fresh_profiles = generate_instance(config, 0, source)
+        assert list(hit_trace) == list(fresh_trace)
+        assert profiles_equal(hit_profiles, fresh_profiles)
+
+    @given(config=configs(), source=st.sampled_from(["poisson", "auction"]))
+    @settings(max_examples=30, deadline=None)
+    def test_disk_round_trip_equals_fresh(self, config, source):
+        with tempfile.TemporaryDirectory() as tmp:
+            store = InstanceCache(max_entries=4, cache_dir=tmp)
+            store.get_or_generate(config, 0, source)
+            reload = InstanceCache(max_entries=4, cache_dir=tmp)
+            disk_trace, disk_profiles = reload.get_or_generate(
+                config, 0, source)
+            assert reload.stats()["disk_hits"] == 1
+            assert reload.stats()["disk_errors"] == 0
+        fresh_trace, fresh_profiles = generate_instance(config, 0, source)
+        assert list(disk_trace) == list(fresh_trace)
+        assert profiles_equal(disk_profiles, fresh_profiles)

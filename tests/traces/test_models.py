@@ -89,6 +89,40 @@ class TestFPNModel:
         recorded = UpdateTrace([UpdateEvent(1, 0)], Epoch(5))
         assert FPNUpdateModel(recorded).trace is recorded
 
+    def test_large_resource_list_identical_output(self):
+        """Regression: membership goes through a set built once.
+
+        An earlier version rebuilt the membership collection per event,
+        making replay quadratic. The output contract is unchanged — the
+        replay must equal a straightforward set-filter of the events.
+        """
+        epoch = Epoch(50)
+        recorded = PoissonUpdateModel(5, seed=11).generate(range(40), epoch)
+        requested = list(range(0, 4000, 2))
+        replay = FPNUpdateModel(recorded).generate(requested, epoch)
+        wanted = set(requested)
+        expected = [event for event in recorded
+                    if event.resource_id in wanted and event.chronon in epoch]
+        assert list(replay) == expected
+
+    def test_large_resource_list_linear_time(self):
+        """Replay stays O(events + resources), not O(events * resources).
+
+        500 events against 200k requested ids finishes near-instantly
+        with set membership; a per-event linear scan of the id list
+        would take orders of magnitude longer.
+        """
+        import time
+        epoch = Epoch(100)
+        recorded = PoissonUpdateModel(25, seed=12).generate(range(20), epoch)
+        assert len(recorded) > 300
+        requested = list(range(200_000))
+        started = time.perf_counter()
+        replay = FPNUpdateModel(recorded).generate(requested, epoch)
+        elapsed = time.perf_counter() - started
+        assert list(replay) == list(recorded)
+        assert elapsed < 5.0
+
 
 class TestPeriodicModel:
     def test_period_spacing(self):

@@ -89,3 +89,44 @@ class TestSampleDistinct:
 
     def test_zero_draw(self):
         assert BoundedZipf(1.0, 3).sample_distinct(0) == []
+
+
+class TestStreamEquivalence:
+    """Batched draws consume the RNG stream exactly like scalar calls."""
+
+    def test_batch_sample_matches_scalar_sequence(self):
+        for theta in (0.0, 0.8, 1.37):
+            scalar = BoundedZipf(theta, 40, rng=np.random.default_rng(7))
+            batch = BoundedZipf(theta, 40, rng=np.random.default_rng(7))
+            one_at_a_time = [scalar.sample() for _ in range(64)]
+            batched = batch.sample(64)
+            assert one_at_a_time == [int(value) for value in batched]
+
+    def test_batch_sample_empty(self):
+        assert BoundedZipf(1.0, 5).sample(0).size == 0
+
+    def test_batch_sample_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedZipf(1.0, 5).sample(-1)
+
+    def test_sample_from_matches_sample(self):
+        for theta in (0.0, 1.37):
+            direct = BoundedZipf(theta, 25, rng=np.random.default_rng(8))
+            replay = BoundedZipf(theta, 25, rng=np.random.default_rng(8))
+            uniforms = np.random.default_rng(8).random(50)
+            assert [direct.sample() for _ in range(50)] \
+                == [replay.sample_from(u) for u in uniforms]
+
+    def test_sample_distinct_from_replays_choice(self):
+        """External-uniform replay equals Generator.choice exactly."""
+        for theta in (0.0, 0.8, 1.37):
+            for seed in range(10):
+                for count in (1, 3, 7, 12):
+                    reference = BoundedZipf(theta, 12,
+                                            rng=np.random.default_rng(seed))
+                    replay = BoundedZipf(theta, 12,
+                                         rng=np.random.default_rng(seed))
+                    expected = reference.sample_distinct(count)
+                    got = replay.sample_distinct_from(count,
+                                                      replay._rng.random)
+                    assert expected == got
