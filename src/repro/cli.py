@@ -101,12 +101,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "stats"],
+        choices=sorted(_EXPERIMENTS) + ["all", "stats", "serve", "soak"],
         help="which table/figure to run ('all' runs everything; "
              "'stats' prints baseline instance statistics; 'faults' "
              "sweeps origin-server failure rates for the "
              "graceful-degradation curves; 'offline' compares the "
-             "offline solvers in the P^[1] regime)",
+             "offline solvers in the P^[1] regime; 'serve' starts the "
+             "async HTTP/SSE proxy service; 'soak' runs the "
+             "deterministic chaos harness)",
     )
     parser.add_argument(
         "--scale", choices=["paper", "default", "smoke"],
@@ -141,6 +143,24 @@ def build_parser() -> argparse.ArgumentParser:
              "path; instances are identical to the fast path's, only "
              "slower to build (for ablations and debugging)",
     )
+    service = parser.add_argument_group("async service ('serve'/'soak')")
+    service.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address for 'serve' (default: 127.0.0.1)")
+    service.add_argument(
+        "--port", type=int, default=8642,
+        help="bind port for 'serve'; 0 picks a free port "
+             "(default: 8642)")
+    service.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="write-ahead journal file for 'serve'; if it already has "
+             "records the service recovers from it before serving")
+    service.add_argument(
+        "--tick-interval", type=float, default=0.1, metavar="SECONDS",
+        help="real-time seconds per chronon for 'serve' (default: 0.1)")
+    service.add_argument(
+        "--seed", type=int, default=0,
+        help="scenario seed for 'soak' (default: 0)")
     return parser
 
 
@@ -156,9 +176,78 @@ def _print_stats(scale: str) -> None:
                        title=f"Baseline instance statistics ({scale})"))
 
 
+def _serve(args) -> int:
+    """Stand up the async HTTP/SSE proxy service on a demo workload."""
+    import asyncio
+    from pathlib import Path
+
+    from repro.core.budget import BudgetVector
+    from repro.core.timeline import Epoch
+    from repro.faults.breaker import BackoffPolicy, CircuitBreaker
+    from repro.online import MRSFPolicy
+    from repro.runtime.aio import (
+        AdmissionController,
+        AsyncMonitoringProxy,
+        Journal,
+        ProxyService,
+    )
+    from repro.runtime.server import OriginServer
+    from repro.traces.models import PoissonUpdateModel
+
+    length, resources, budget = {
+        "smoke": (60, 8, 2), "default": (600, 32, 4),
+        "paper": (3000, 64, 8)}[args.scale]
+    epoch = Epoch(length)
+    trace = PoissonUpdateModel(8.0, seed=args.seed).generate(
+        range(resources), epoch)
+    server = OriginServer(trace)
+    knobs = dict(backoff=BackoffPolicy(), breaker=CircuitBreaker(),
+                 deadline=1.0, hedge_delay=0.05)
+    path = Path(args.journal) if args.journal else None
+    if path is not None and path.exists() and path.stat().st_size > 0:
+        print(f"recovering from journal {path}")
+        proxy = AsyncMonitoringProxy.recover(
+            path, server, epoch, BudgetVector(budget), MRSFPolicy(),
+            **knobs)
+    else:
+        proxy = AsyncMonitoringProxy(
+            server, epoch, BudgetVector(budget), MRSFPolicy(),
+            journal=Journal(path) if path is not None else None, **knobs)
+    admission = AdmissionController(max_tintervals=resources * 8,
+                                    max_profiles_per_client=64)
+    service = ProxyService(proxy, admission,
+                           host=args.host, port=args.port)
+
+    async def serve() -> None:
+        host, port = await service.start()
+        print(f"serving on http://{host}:{port} — epoch of {epoch.last} "
+              f"chronons at {args.tick_interval}s per chronon "
+              f"(clock at {proxy.clock})")
+        try:
+            await service.serve_epoch(
+                tick_interval=args.tick_interval)
+            print(f"epoch complete: {proxy.stats()}")
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        print("interrupted; journal (if any) is replayable")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.experiment == "serve":
+        return _serve(args)
+    if args.experiment == "soak":
+        from repro.runtime.aio.chaos import main as chaos_main
+        chaos_args = ["--seed", str(args.seed)]
+        if args.scale == "smoke":
+            chaos_args.append("--smoke")
+        return chaos_main(chaos_args)
     from repro.experiments.instances import configure_instances
     configure_instances(cache_dir=args.cache_dir,
                         fast=not args.no_fast_gen)

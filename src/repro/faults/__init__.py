@@ -16,7 +16,7 @@ part of the model:
   simulator and the live proxy, so both account for faults identically.
 """
 
-from repro.faults.breaker import CircuitBreaker, RetryConfig
+from repro.faults.breaker import BackoffPolicy, CircuitBreaker, RetryConfig
 from repro.faults.engine import ProbeRound, execute_probes
 from repro.faults.model import (
     FaultDecision,
@@ -39,6 +39,7 @@ __all__ = [
     "PROBE_FAILED",
     "PROBE_OK",
     "PROBE_THROTTLED",
+    "BackoffPolicy",
     "CircuitBreaker",
     "FaultDecision",
     "FaultInjector",

@@ -20,12 +20,14 @@ proxy.
 
 from __future__ import annotations
 
+import math
+import random
 from dataclasses import dataclass
 
 from repro.core.errors import FaultError
 from repro.core.timeline import Chronon
 
-__all__ = ["CircuitBreaker", "RetryConfig"]
+__all__ = ["BackoffPolicy", "CircuitBreaker", "RetryConfig"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,6 +47,89 @@ class RetryConfig:
         if self.max_retries < 0:
             raise FaultError(
                 f"max_retries must be >= 0, got {self.max_retries}")
+
+
+@dataclass(frozen=True, slots=True)
+class BackoffPolicy:
+    """Retry allowance with deterministic full-jitter exponential delays.
+
+    Generalizes :class:`RetryConfig` for the asyncio proxy: besides *how
+    many* retries a failed probe gets, it decides *how long* to wait
+    before each one. Delays follow AWS-style "full jitter": attempt
+    ``k`` sleeps a uniform draw from ``[0, min(max_delay, base_delay *
+    factor**(k-1))]``, which decorrelates retry storms without giving up
+    the exponential envelope.
+
+    Every draw is keyed on ``(seed, key, attempt)`` through a stable
+    string seed — the same trick as
+    :class:`~repro.faults.model.FaultInjector` — so two runs with the
+    same seed produce identical delays regardless of coroutine
+    interleaving, and so does a replayed chaos schedule.
+
+    Attributes
+    ----------
+    max_retries:
+        Retries allowed per failed resource within one chronon (each
+        spends one unit of leftover budget, exactly like
+        :class:`RetryConfig`).
+    base_delay:
+        Upper bound of the first retry's jitter window, in seconds.
+    factor:
+        Exponential growth of the jitter window per attempt.
+    max_delay:
+        Cap on any single jitter window, in seconds.
+    seed:
+        Seed of the deterministic jitter keying.
+    """
+
+    max_retries: int = 1
+    base_delay: float = 0.01
+    factor: float = 2.0
+    max_delay: float = 0.25
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise FaultError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay < 0.0:
+            raise FaultError(
+                f"base_delay must be >= 0, got {self.base_delay}")
+        if self.factor < 1.0:
+            raise FaultError(f"factor must be >= 1.0, got {self.factor}")
+        if self.max_delay < self.base_delay:
+            raise FaultError("max_delay must be >= base_delay")
+
+    @classmethod
+    def from_retry(cls, retry: RetryConfig | None,
+                   **overrides) -> "BackoffPolicy":
+        """Lift a plain :class:`RetryConfig` (or None) into a policy."""
+        max_retries = retry.max_retries if retry is not None else 0
+        return cls(max_retries=max_retries, **overrides)
+
+    def as_retry(self) -> RetryConfig:
+        """The in-chronon retry allowance this policy grants."""
+        return RetryConfig(max_retries=self.max_retries)
+
+    def window_for(self, attempt: int) -> float:
+        """The jitter window (seconds) for retry attempt ``attempt >= 1``."""
+        if attempt < 1:
+            raise FaultError(f"attempt must be >= 1, got {attempt}")
+        return min(self.max_delay,
+                   self.base_delay * self.factor ** (attempt - 1))
+
+    def delay_for(self, key: str, attempt: int) -> float:
+        """Full-jitter delay before retry ``attempt`` of channel ``key``.
+
+        ``key`` identifies the retry stream (the async engine passes
+        ``"resource:chronon"``); identical keys and seeds reproduce
+        identical delays across runs and processes.
+        """
+        window = self.window_for(attempt)
+        if window <= 0.0:
+            return 0.0
+        draw = random.Random(f"{self.seed}:backoff:{key}:{attempt}")
+        return draw.random() * window
 
 
 class _ResourceState:
@@ -100,13 +185,33 @@ class CircuitBreaker:
         self.ever_quarantined: set[int] = set()
 
     def _cooldown_for(self, trips: int) -> int:
+        # ceil, not int(): truncation would stall cooldown growth for
+        # fractional backoff_factor near 1 (e.g. 1.5 gives 1, 1, 2, ...
+        # truncated but 1, 2, 3, ... ceiled from cooldown=1).
         scaled = self.cooldown * self.backoff_factor ** trips
-        return min(self.max_cooldown, int(scaled))
+        return min(self.max_cooldown, math.ceil(scaled))
 
     def is_blocked(self, resource_id: int, chronon: Chronon) -> bool:
         """True while the resource is quarantined at ``chronon``."""
         state = self._states.get(resource_id)
         return state is not None and chronon <= state.open_until
+
+    def is_half_open(self, resource_id: int, chronon: Chronon) -> bool:
+        """True when the next probe of the resource is a quarantine-exit
+        trial: it has tripped at least once, its cooldown has elapsed,
+        and no success has closed it since. The async executor hedges
+        exactly these probes."""
+        state = self._states.get(resource_id)
+        return (state is not None and state.trips > 0
+                and chronon > state.open_until)
+
+    def reset(self) -> None:
+        """Return the breaker to its as-constructed state so one
+        instance can be reused across epochs: all failure counters,
+        open windows, trip escalations, and the quarantine census are
+        forgotten."""
+        self._states.clear()
+        self.ever_quarantined.clear()
 
     def record_failure(self, resource_id: int, chronon: Chronon) -> bool:
         """Count one failed probe; returns True when this trips the breaker.

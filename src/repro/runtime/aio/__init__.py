@@ -1,0 +1,46 @@
+"""The asyncio proxy service layer.
+
+Everything the synchronous runtime does — pull under budget, push
+notifications — plus what a *service* needs: concurrent probing with
+deadlines and per-server concurrency caps, jittered-backoff retries,
+hedged quarantine exits, an HTTP/SSE API with quotas and admission
+control, a crash-recovery journal, and a deterministic chaos harness
+that proves the whole stack degrades without losing or duplicating a
+single notification.
+"""
+
+from repro.runtime.aio.admission import (
+    AdmissionController,
+    AdmissionDecision,
+    AdmissionStats,
+)
+from repro.runtime.aio.engine import (
+    AsyncProbeRound,
+    BudgetLedger,
+    ServerSemaphores,
+    execute_probes_async,
+)
+from repro.runtime.aio.journal import Journal, JournalState, replay_journal
+from repro.runtime.aio.proxy import (
+    AsyncMonitoringProxy,
+    ProxyEvent,
+    notification_payload,
+)
+from repro.runtime.aio.service import ProxyService
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionStats",
+    "AsyncMonitoringProxy",
+    "AsyncProbeRound",
+    "BudgetLedger",
+    "Journal",
+    "JournalState",
+    "ProxyEvent",
+    "ProxyService",
+    "ServerSemaphores",
+    "execute_probes_async",
+    "notification_payload",
+    "replay_journal",
+]

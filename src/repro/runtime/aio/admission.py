@@ -1,0 +1,175 @@
+"""Admission control: quotas and deterministic lowest-utility shedding.
+
+A live proxy has a hard probing budget, so accepting every registration
+during a flash crowd degrades *everyone* — the online-interval-
+scheduling literature's answer is to bound load and keep the satisfied
+share predictable. This controller enforces two limits:
+
+* a per-client quota of active profiles (one misbehaving client cannot
+  starve the rest);
+* a global capacity in active t-intervals (the unit the budget actually
+  schedules).
+
+When a registration would exceed capacity, load is shed
+*deterministically*: the lowest-utility active profiles are evicted
+first (ties evict the youngest, protecting seniority), and if the
+newcomer itself ranks at or below everything it would displace, the
+newcomer is rejected instead. Identical request sequences therefore
+always produce identical admission decisions — no randomness, no
+wall-clock dependence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ModelError
+
+__all__ = ["AdmissionController", "AdmissionDecision", "AdmissionStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionDecision:
+    """The controller's verdict on one registration attempt.
+
+    ``admitted`` with a non-empty ``shed`` means the caller must
+    unregister the listed profile ids to make room *before* registering
+    the newcomer.
+    """
+
+    admitted: bool
+    reason: str = ""
+    shed: tuple[int, ...] = ()
+
+
+@dataclass(slots=True)
+class AdmissionStats:
+    """Running census of admission outcomes."""
+
+    admitted: int = 0
+    rejected_quota: int = 0
+    rejected_capacity: int = 0
+    shed: int = 0
+
+    def as_dict(self) -> dict:
+        return {"admitted": self.admitted,
+                "rejected_quota": self.rejected_quota,
+                "rejected_capacity": self.rejected_capacity,
+                "shed": self.shed}
+
+
+@dataclass(slots=True)
+class _ActiveProfile:
+    profile_id: int
+    client_key: str
+    utility: float
+    load: int
+
+
+class AdmissionController:
+    """Deterministic admission control for profile registrations.
+
+    Parameters
+    ----------
+    max_tintervals:
+        Global capacity, in active t-intervals; ``None`` disables the
+        capacity check (quotas still apply).
+    max_profiles_per_client:
+        Active-profile quota per client key; ``None`` disables.
+    """
+
+    def __init__(self, max_tintervals: int | None = None,
+                 max_profiles_per_client: int | None = None) -> None:
+        if max_tintervals is not None and max_tintervals < 1:
+            raise ModelError(
+                f"max_tintervals must be >= 1, got {max_tintervals}")
+        if (max_profiles_per_client is not None
+                and max_profiles_per_client < 1):
+            raise ModelError(
+                f"max_profiles_per_client must be >= 1, got "
+                f"{max_profiles_per_client}")
+        self.max_tintervals = max_tintervals
+        self.max_profiles_per_client = max_profiles_per_client
+        self.stats = AdmissionStats()
+        self._active: dict[int, _ActiveProfile] = {}
+
+    # ------------------------------------------------------------------
+    # Census
+    # ------------------------------------------------------------------
+
+    @property
+    def active_load(self) -> int:
+        """Active t-intervals currently admitted."""
+        return sum(entry.load for entry in self._active.values())
+
+    def active_profiles(self, client_key: str | None = None) -> int:
+        """Active profiles, optionally for one client key."""
+        if client_key is None:
+            return len(self._active)
+        return sum(1 for entry in self._active.values()
+                   if entry.client_key == client_key)
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def decide(self, client_key: str, load: int,
+               utility: float = 1.0) -> AdmissionDecision:
+        """Rule on a registration of ``load`` t-intervals.
+
+        Does not mutate the census — call :meth:`admit` (after the shed
+        list is applied and the registration succeeded) to commit.
+        """
+        if load < 1:
+            raise ModelError(f"profile load must be >= 1, got {load}")
+        quota = self.max_profiles_per_client
+        if quota is not None and self.active_profiles(client_key) >= quota:
+            self.stats.rejected_quota += 1
+            return AdmissionDecision(
+                admitted=False,
+                reason=f"client quota of {quota} active profiles "
+                       f"reached")
+        if self.max_tintervals is None:
+            return AdmissionDecision(admitted=True)
+        overflow = (self.active_load + load) - self.max_tintervals
+        if overflow <= 0:
+            return AdmissionDecision(admitted=True)
+        # Shed lowest utility first; among equals the youngest goes
+        # (largest profile_id), so long-lived registrations are sticky.
+        shed: list[int] = []
+        freed = 0
+        for entry in sorted(self._active.values(),
+                            key=lambda e: (e.utility, -e.profile_id)):
+            if entry.utility >= utility:
+                break  # nothing left strictly less useful
+            shed.append(entry.profile_id)
+            freed += entry.load
+            if freed >= overflow:
+                return AdmissionDecision(admitted=True,
+                                         shed=tuple(shed))
+        self.stats.rejected_capacity += 1
+        return AdmissionDecision(
+            admitted=False,
+            reason=f"capacity of {self.max_tintervals} t-intervals "
+                   f"reached and utility {utility} does not displace "
+                   f"any active profile")
+
+    # ------------------------------------------------------------------
+    # Census mutations
+    # ------------------------------------------------------------------
+
+    def admit(self, profile_id: int, client_key: str, load: int,
+              utility: float = 1.0) -> None:
+        """Commit an admitted registration to the census."""
+        if profile_id in self._active:
+            raise ModelError(f"profile {profile_id} already admitted")
+        self._active[profile_id] = _ActiveProfile(
+            profile_id=profile_id, client_key=client_key,
+            utility=utility, load=load)
+        self.stats.admitted += 1
+
+    def release(self, profile_id: int, shed: bool = False) -> None:
+        """Remove a profile from the census (cancel, completion, or
+        shedding); unknown ids are ignored — release is idempotent."""
+        if self._active.pop(profile_id, None) is not None and shed:
+            self.stats.shed += 1

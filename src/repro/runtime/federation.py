@@ -42,10 +42,15 @@ class ServerFleet:
             self._servers[name] = server
             self._probe_counts[name] = 0
             for resource_id in resource_ids:
-                if resource_id in self._owner:
+                owner = self._owner.get(resource_id)
+                if owner == name:
+                    raise ModelError(
+                        f"resource {resource_id} listed twice for "
+                        f"server {name!r}")
+                if owner is not None:
                     raise ModelError(
                         f"resource {resource_id} assigned to both "
-                        f"{self._owner[resource_id]!r} and {name!r}")
+                        f"{owner!r} and {name!r}")
                 self._owner[resource_id] = name
 
     @property

@@ -62,8 +62,10 @@ class ProxyStats:
 
     ``probes_used`` counts *successful* probes (snapshots obtained);
     ``probes_failed`` counts non-ok requests (drops, timeouts, outages,
-    throttles — including failed retries). Budget consumed so far is
-    their sum, exposed as :attr:`requests_sent`.
+    throttles — including failed retries); ``hedges`` counts redundant
+    hedge requests whose duplicate answer was discarded (only the async
+    proxy issues hedges — always 0 for the synchronous proxy). Budget
+    consumed so far is their sum, exposed as :attr:`requests_sent`.
     """
 
     registered: int
@@ -75,6 +77,7 @@ class ProxyStats:
     probes_failed: int = 0
     retries: int = 0
     resources_quarantined: int = 0
+    hedges: int = 0
 
     @property
     def completeness(self) -> float:
@@ -87,7 +90,7 @@ class ProxyStats:
     @property
     def requests_sent(self) -> int:
         """Total pull requests issued (the budget actually consumed)."""
-        return self.probes_used + self.probes_failed
+        return self.probes_used + self.probes_failed + self.hedges
 
 
 class _Registration:
@@ -145,6 +148,7 @@ class MonitoringProxy:
         self.breaker = breaker
         self._probes_failed = 0
         self._retries = 0
+        self._hedges = 0
 
         self._clients: dict[int, Client] = {}
         self._registrations: dict[int, _Registration] = {}
@@ -239,6 +243,30 @@ class MonitoringProxy:
         ModelError
             When the epoch is exhausted.
         """
+        chronon, budget_now, candidates, decisions = self._begin_step()
+        if decisions:
+            round_ = execute_probes(decisions, chronon, budget_now,
+                                    self._prober, retry=self.retry,
+                                    breaker=self.breaker)
+            self._finish_step(chronon, candidates, decisions, round_)
+        return chronon
+
+    def _begin_step(self) -> tuple[Chronon, int, list, list]:
+        """Advance the clock and plan the chronon's probes.
+
+        The synchronous :meth:`step` and the asyncio proxy share this
+        phase (and :meth:`_finish_step`) verbatim — only the probe
+        *execution* between them differs — which is what makes the two
+        proxies capture-identical on fault-free schedules by
+        construction. Returns ``(chronon, budget, candidates,
+        decisions)``; ``decisions`` is empty when there is nothing to
+        probe.
+
+        Raises
+        ------
+        ModelError
+            When the epoch is exhausted.
+        """
         if self._clock >= self.epoch.last:
             raise ModelError(f"epoch exhausted at {self._clock}")
         chronon = self._clock + 1
@@ -275,7 +303,7 @@ class MonitoringProxy:
 
         budget_now = self.budget.at(chronon)
         if budget_now <= 0 or not self._pending:
-            return chronon
+            return chronon, budget_now, [], []
 
         candidates = [
             Candidate(state, ei)
@@ -285,18 +313,23 @@ class MonitoringProxy:
         ]
         candidates = filter_blocked(candidates, self.breaker, chronon)
         if not candidates:
-            return chronon
+            return chronon, budget_now, [], []
         self.policy.observe_candidates(candidates, chronon)
         decisions = select_probes(self.policy, candidates, chronon,
                                   budget_now, self.preemptive)
-        if not decisions:
-            return chronon
+        return chronon, budget_now, list(candidates), decisions
 
-        round_ = execute_probes(decisions, chronon, budget_now,
-                                self._prober, retry=self.retry,
-                                breaker=self.breaker)
+    def _finish_step(self, chronon: Chronon, candidates, decisions,
+                     round_) -> None:
+        """Account one executed probe round and deliver its captures.
+
+        ``round_`` is any :class:`~repro.faults.engine.ProbeRound`-shaped
+        accounting object (the async executor returns a subclass that
+        also counts hedges).
+        """
         self._probes_failed += round_.failures
         self._retries += round_.retries
+        self._hedges += getattr(round_, "hedges", 0)
         snapshots = {
             resource_id: outcome.snapshot
             for resource_id, outcome in round_.outcomes.items()
@@ -313,16 +346,13 @@ class MonitoringProxy:
             state = candidate.state
             if (ei.resource_id in snapshots and ei.active_at(chronon)
                     and not state.captured[ei.ei_id]):
-                state.mark_captured(ei.ei_id)
-                state.committed = True
                 assert isinstance(state, _RuntimeState)
-                state.snapshots[ei.ei_id] = snapshots[ei.resource_id]
+                self._capture(state, ei, snapshots[ei.resource_id])
                 if state.is_complete and not state.is_expired(chronon):
                     self._notify(state, chronon)
 
         self._pending = [state for state in self._pending
                          if not state.is_complete]
-        return chronon
 
     def run(self, until: Chronon | None = None) -> ProxyStats:
         """Run to ``until`` (default: end of epoch) and return stats."""
@@ -330,24 +360,27 @@ class MonitoringProxy:
         while self._clock < target:
             self.step()
         if self._clock >= self.epoch.last:
-            # Flush: anything unresolved at the end of the epoch expired
-            # (or was dropped by unregistration).
-            for state in self._pending:
-                if state.doom_counted or state.is_complete:
-                    continue
-                if not state.registration.active:
-                    self._dropped += 1
-                else:
-                    self._expired += 1
-            for states in self._arrivals.values():
-                for state in states:
-                    if state.registration.active:
-                        self._expired += 1
-                    else:
-                        self._dropped += 1
-            self._arrivals.clear()
-            self._pending = []
+            self._flush()
         return self.stats()
+
+    def _flush(self) -> None:
+        """Resolve everything left at the end of the epoch: unresolved
+        t-intervals expired (or were dropped by unregistration)."""
+        for state in self._pending:
+            if state.doom_counted or state.is_complete:
+                continue
+            if not state.registration.active:
+                self._dropped += 1
+            else:
+                self._expired += 1
+        for states in self._arrivals.values():
+            for state in states:
+                if state.registration.active:
+                    self._expired += 1
+                else:
+                    self._dropped += 1
+        self._arrivals.clear()
+        self._pending = []
 
     def _prober(self, resource_id: int, attempt: int) -> ProbeOutcome:
         """One pull request against the server, as a probe outcome.
@@ -363,6 +396,13 @@ class MonitoringProxy:
             resource_id=resource_id, chronon=self._clock, status=PROBE_OK,
             snapshot=self.server.probe(resource_id), attempt=attempt)
 
+    def _capture(self, state: _RuntimeState, ei,
+                 snapshot: Snapshot) -> None:
+        """Record one EI capture (the async proxy journals here)."""
+        state.mark_captured(ei.ei_id)
+        state.committed = True
+        state.snapshots[ei.ei_id] = snapshot
+
     def _notify(self, state: _RuntimeState, chronon: Chronon) -> None:
         self._completed += 1
         registration = state.registration
@@ -375,7 +415,12 @@ class MonitoringProxy:
             snapshots=tuple(s for s in state.snapshots
                             if s is not None),
         )
-        registration.client.deliver(notification)
+        self._publish(notification, state)
+
+    def _publish(self, notification: Notification,
+                 state: _RuntimeState) -> None:
+        """Deliver one completed t-interval (async proxy journals here)."""
+        state.registration.client.deliver(notification)
 
     def stats(self) -> ProxyStats:
         """Current accounting snapshot."""
@@ -399,4 +444,5 @@ class MonitoringProxy:
             probes_failed=self._probes_failed,
             retries=self._retries,
             resources_quarantined=quarantined,
+            hedges=self._hedges,
         )

@@ -162,3 +162,68 @@ class TestExecuteProbes:
         # The success cleared the failure streak: one more failure does
         # not trip the threshold-2 breaker.
         assert not breaker.record_failure(0, 6)
+
+
+class TestCooldownGrowth:
+    def test_fractional_backoff_factor_never_stalls(self):
+        # Regression: int() truncation made cooldown=1, factor=1.5
+        # produce 1, 1, 2, ... (the second trip's window was no longer
+        # than the first); ceil gives strictly growing windows until
+        # the cap.
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1,
+                                 backoff_factor=1.5, max_cooldown=64)
+        windows = [breaker._cooldown_for(trips) for trips in range(5)]
+        assert windows == [1, 2, 3, 4, 6]
+        assert all(b > a for a, b in zip(windows, windows[1:]))
+
+    def test_integer_factors_unchanged_by_ceil(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=4,
+                                 backoff_factor=2.0, max_cooldown=64)
+        assert [breaker._cooldown_for(t) for t in range(4)] == \
+            [4, 8, 16, 32]
+
+
+class TestReset:
+    def test_reset_reopens_quarantined_resources(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=10)
+        breaker.record_failure(0, 1)
+        assert breaker.is_blocked(0, 5)
+        breaker.reset()
+        assert not breaker.is_blocked(0, 5)
+        assert breaker.quarantined_count == 0
+
+    def test_reset_clears_trip_escalation(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=4,
+                                 backoff_factor=2.0)
+        breaker.record_failure(0, 1)
+        breaker.record_failure(0, 6)  # second trip: doubled window
+        breaker.reset()
+        # A fresh epoch starts from the base cooldown again.
+        breaker.record_failure(0, 1)
+        assert breaker.is_blocked(0, 5)
+        assert not breaker.is_blocked(0, 6)
+
+    def test_reset_clears_failure_streaks(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=4)
+        breaker.record_failure(0, 1)
+        breaker.reset()
+        assert not breaker.record_failure(0, 2)
+
+
+class TestHalfOpen:
+    def test_half_open_after_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=4)
+        breaker.record_failure(0, 1)  # open through chronon 5
+        assert not breaker.is_half_open(0, 5)
+        assert breaker.is_half_open(0, 6)
+
+    def test_untripped_resource_is_not_half_open(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=4)
+        breaker.record_failure(0, 1)  # streak of 1: below threshold
+        assert not breaker.is_half_open(0, 10)
+
+    def test_success_closes_half_open(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=4)
+        breaker.record_failure(0, 1)
+        breaker.record_success(0)
+        assert not breaker.is_half_open(0, 10)

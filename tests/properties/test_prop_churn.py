@@ -1,0 +1,97 @@
+"""Property: proxy accounting survives arbitrary mid-run churn.
+
+Hypothesis drives random interleavings of register / unregister actions
+against a stepping proxy and asserts the :class:`ProxyStats` invariants
+after *every* chronon — not just at the end — so any transient
+double-count or leak in the bookkeeping is caught at the step that
+introduces it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BudgetVector
+from repro.online import MEDFPolicy, MRSFPolicy, SEDFPolicy
+from repro.runtime import MonitoringProxy, OriginServer
+from repro.traces import UpdateTrace
+
+from tests.properties.strategies import HORIZON, epoch, profiles
+
+POLICIES = [SEDFPolicy, MRSFPolicy, MEDFPolicy]
+
+
+@st.composite
+def churn_scripts(draw):
+    """A set of profiles with arrival chronons and cancel chronons.
+
+    Arrival 0 registers before the run starts; a cancel chronon of 0
+    means the registration is never cancelled. Cancels may target any
+    registration order index — including ones that arrive later or were
+    already cancelled — exercising the edge cases.
+    """
+    members = draw(st.lists(profiles(), min_size=1, max_size=5))
+    arrivals = [draw(st.integers(0, HORIZON - 1)) for _ in members]
+    cancels = draw(st.lists(
+        st.tuples(st.integers(0, len(members) - 1),
+                  st.integers(1, HORIZON)),
+        max_size=4))
+    return members, arrivals, cancels
+
+
+class TestChurnInvariants:
+    @given(script=churn_scripts(), policy_index=st.integers(0, 2),
+           budget=st.integers(1, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_stats_invariants_hold_after_every_step(
+            self, script, policy_index, budget):
+        members, arrivals, cancels = script
+        budget_vector = BudgetVector(budget)
+        proxy = MonitoringProxy(
+            OriginServer(UpdateTrace([], epoch())), epoch(),
+            budget_vector, POLICIES[policy_index]())
+        client = proxy.register_client()
+        cancels_at: dict[int, list[int]] = {}
+        for order, chronon in cancels:
+            cancels_at.setdefault(chronon, []).append(order)
+
+        order_to_id: list[int] = []
+        expected_registered = 0
+        for order, profile in enumerate(members):
+            if arrivals[order] == 0:
+                order_to_id.append(proxy.register_profile(client, profile))
+                expected_registered += len(profile)
+            else:
+                order_to_id.append(-1)
+
+        for chronon in range(1, HORIZON + 1):
+            for order, profile in enumerate(members):
+                if arrivals[order] == chronon:
+                    order_to_id[order] = \
+                        proxy.register_profile(client, profile)
+                    expected_registered += len(profile)
+            for order in cancels_at.get(chronon, ()):
+                profile_id = order_to_id[order]
+                if profile_id >= 0 and \
+                        proxy._registrations[profile_id].active:
+                    proxy.unregister_profile(profile_id)
+            proxy.step()
+
+            stats = proxy.stats()
+            assert stats.registered == expected_registered
+            assert stats.completed == len(client.mailbox)
+            keys = [(n.profile_id, n.tinterval_id)
+                    for n in client.mailbox]
+            assert len(keys) == len(set(keys)), "duplicate notification"
+            # Every t-interval sits in at most one outcome bucket.
+            assert (stats.completed + stats.expired + stats.dropped
+                    + stats.pending) <= stats.registered
+            assert stats.requests_sent == (stats.probes_used
+                                           + stats.probes_failed
+                                           + stats.hedges)
+            assert proxy.schedule.respects_budget(budget_vector, epoch())
+
+        proxy._flush()
+        final = proxy.stats()
+        assert final.pending == 0
+        assert final.registered == (final.completed + final.expired
+                                    + final.dropped)

@@ -1,0 +1,108 @@
+"""Admission control: quotas, capacity, deterministic shedding."""
+
+import pytest
+
+from repro.core import ModelError
+from repro.runtime.aio import AdmissionController
+
+
+class TestQuota:
+    def test_quota_rejects_over_limit(self):
+        controller = AdmissionController(max_profiles_per_client=2)
+        controller.admit(0, "a", 1)
+        controller.admit(1, "a", 1)
+        decision = controller.decide("a", 1)
+        assert not decision.admitted
+        assert "quota" in decision.reason
+        assert controller.stats.rejected_quota == 1
+
+    def test_quota_is_per_client(self):
+        controller = AdmissionController(max_profiles_per_client=1)
+        controller.admit(0, "a", 1)
+        assert controller.decide("b", 1).admitted
+
+    def test_release_frees_quota(self):
+        controller = AdmissionController(max_profiles_per_client=1)
+        controller.admit(0, "a", 1)
+        controller.release(0)
+        assert controller.decide("a", 1).admitted
+
+
+class TestCapacity:
+    def test_admits_within_capacity(self):
+        controller = AdmissionController(max_tintervals=4)
+        controller.admit(0, "a", 3)
+        assert controller.decide("a", 1).admitted
+
+    def test_sheds_lowest_utility_first(self):
+        controller = AdmissionController(max_tintervals=4)
+        controller.admit(0, "a", 2, utility=0.2)
+        controller.admit(1, "b", 2, utility=0.8)
+        decision = controller.decide("c", 2, utility=0.5)
+        assert decision.admitted
+        assert decision.shed == (0,)
+
+    def test_ties_shed_youngest(self):
+        controller = AdmissionController(max_tintervals=4)
+        controller.admit(0, "a", 2, utility=0.5)
+        controller.admit(1, "b", 2, utility=0.5)
+        decision = controller.decide("c", 2, utility=0.9)
+        assert decision.admitted
+        assert decision.shed == (1,)
+
+    def test_newcomer_rejected_when_it_displaces_nothing(self):
+        controller = AdmissionController(max_tintervals=4)
+        controller.admit(0, "a", 4, utility=0.5)
+        decision = controller.decide("b", 1, utility=0.5)
+        assert not decision.admitted
+        assert "does not displace" in decision.reason
+        assert controller.stats.rejected_capacity == 1
+
+    def test_sheds_several_when_needed(self):
+        controller = AdmissionController(max_tintervals=4)
+        controller.admit(0, "a", 2, utility=0.1)
+        controller.admit(1, "b", 2, utility=0.2)
+        decision = controller.decide("c", 4, utility=0.9)
+        assert decision.admitted
+        assert decision.shed == (0, 1)
+
+    def test_identical_sequences_decide_identically(self):
+        def run():
+            controller = AdmissionController(max_tintervals=6)
+            outcomes = []
+            for pid, (key, load, utility) in enumerate([
+                    ("a", 3, 0.3), ("b", 3, 0.6), ("c", 2, 0.5),
+                    ("d", 4, 0.9)]):
+                decision = controller.decide(key, load, utility)
+                outcomes.append((decision.admitted, decision.shed))
+                if decision.admitted:
+                    for victim in decision.shed:
+                        controller.release(victim, shed=True)
+                    controller.admit(pid, key, load, utility)
+            return outcomes, controller.stats.as_dict()
+
+        assert run() == run()
+
+
+class TestCensus:
+    def test_release_is_idempotent(self):
+        controller = AdmissionController(max_tintervals=4)
+        controller.admit(0, "a", 2)
+        controller.release(0, shed=True)
+        controller.release(0, shed=True)
+        assert controller.stats.shed == 1
+        assert controller.active_load == 0
+
+    def test_double_admit_rejected(self):
+        controller = AdmissionController()
+        controller.admit(0, "a", 1)
+        with pytest.raises(ModelError, match="already admitted"):
+            controller.admit(0, "a", 1)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            AdmissionController(max_tintervals=0)
+        with pytest.raises(ModelError):
+            AdmissionController(max_profiles_per_client=0)
+        with pytest.raises(ModelError):
+            AdmissionController().decide("a", 0)

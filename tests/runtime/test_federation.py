@@ -43,6 +43,19 @@ class TestRouting:
         with pytest.raises(ModelError, match="assigned to both"):
             ServerFleet({"a": (server, [0]), "b": (OriginServer(), [0])})
 
+    def test_duplicate_assignment_names_both_servers(self):
+        with pytest.raises(ModelError,
+                           match=r"resource 7 assigned to both 'nyse' "
+                                 r"and 'lse'"):
+            ServerFleet({"nyse": (OriginServer(), [7]),
+                         "lse": (OriginServer(), [7])})
+
+    def test_repeated_resource_within_one_server_rejected(self):
+        with pytest.raises(ModelError,
+                           match=r"resource 3 listed twice for server "
+                                 r"'nyse'"):
+            ServerFleet({"nyse": (OriginServer(), [2, 3, 3])})
+
     def test_probe_routes_to_owner(self, fleet):
         fleet.advance_to(10)
         assert fleet.probe(0).value == "nyse:100"
