@@ -1,0 +1,157 @@
+"""Columnar batch engine vs. fast engine on full-figure sweeps.
+
+Measures the wall time of a figure-shaped budget sweep — every policy of
+the paper's headline line-up x every budget value x every repetition,
+all sharing generated instances — through the harness twice: once with
+the per-combination fast engine, once with the columnar mega-batch
+engine (``engine="batch"``), and writes the numbers to
+``BENCH_batch.json``::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py \
+        --output BENCH_batch.json
+
+The ``target`` scale (epoch 200, 50 resources, 60 profiles) matches
+``bench_engine``; there the whole sweep collapses into one columnar
+block of repetitions x policies x budgets lanes. Both paths produce
+identical gained-completeness series (asserted on every round). The
+instance cache is warmed before timing so the numbers isolate
+simulation, not generation.
+
+``--smoke`` restricts the run to the tiny scale with fewer rounds for
+CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from dataclasses import asdict
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import DEFAULT_POLICIES, sweep
+
+try:
+    from benchmarks._provenance import provenance_header
+except ImportError:  # run as a top-level script (python benchmarks/...)
+    from _provenance import provenance_header
+
+__all__ = ["bench_figure_sweep", "main"]
+
+#: Scales mirror bench_engine's; repetitions make the mega blocks
+#: multi-instance (the acceptance scale is ``target``).
+SCALES: dict[str, ExperimentConfig] = {
+    "tiny": ExperimentConfig(
+        epoch_length=40, num_resources=10, num_profiles=12, intensity=5.0,
+        window=5, repetitions=2, grouping="overlap", seed=1234),
+    "target": ExperimentConfig(
+        epoch_length=200, num_resources=50, num_profiles=60, intensity=10.0,
+        window=10, repetitions=3, grouping="overlap", seed=1234),
+}
+
+_BUDGETS = [1, 2, 3, 4, 5]
+
+
+def bench_figure_sweep(scale: str, rounds: int = 5,
+                       policies=DEFAULT_POLICIES) -> dict:
+    """Median fast vs. batch wall time of one full budget sweep."""
+    config = SCALES[scale]
+
+    def run_once(engine: str):
+        started = time.perf_counter()
+        result = sweep("bench", config, "budget", _BUDGETS,
+                       policies=list(policies), engine=engine)
+        return time.perf_counter() - started, result
+
+    # Warm the instance cache (and numpy) outside the timed region.
+    _, reference = run_once("fast")
+    fast_times = []
+    batch_times = []
+    for _ in range(rounds):
+        seconds, outcome = run_once("fast")
+        fast_times.append(seconds)
+        seconds, outcome = run_once("batch")
+        batch_times.append(seconds)
+        for label in reference.labels():
+            if outcome.series(label) != reference.series(label):
+                raise AssertionError(
+                    f"batch sweep diverged from fast on {label}")
+    fast_s = statistics.median(fast_times)
+    batch_s = statistics.median(batch_times)
+    lanes = len(policies) * len(_BUDGETS) * config.repetitions
+    return {
+        "config": asdict(config),
+        "budgets": _BUDGETS,
+        "lanes": lanes,
+        "fast_s": fast_s,
+        "batch_s": batch_s,
+        "speedup": fast_s / batch_s,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the columnar batch engine against the fast "
+                    "engine on full-figure sweeps, writing "
+                    "BENCH_batch.json")
+    parser.add_argument("--scales", default="tiny,target",
+                        help="comma-separated scales to measure "
+                             f"(available: {','.join(SCALES)})")
+    parser.add_argument("--rounds", type=int, default=5,
+                        help="timing rounds per measurement (median wins)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke mode: tiny scale only, 2 rounds")
+    parser.add_argument("--output", default="BENCH_batch.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scales = ["tiny"]
+        rounds = 2
+    else:
+        scales = [scale.strip() for scale in args.scales.split(",")
+                  if scale.strip()]
+        rounds = args.rounds
+    report = {
+        **provenance_header("bench_batch.py"),
+        "policies": list(DEFAULT_POLICIES),
+        "rounds": rounds,
+        "scales": {},
+    }
+    for scale in scales:
+        print(f"[bench_batch] measuring scale {scale!r} ...",
+              file=sys.stderr)
+        report["scales"][scale] = bench_figure_sweep(scale, rounds=rounds)
+        summary = report["scales"][scale]
+        print(f"[bench_batch]   speedup {summary['speedup']:.2f}x "
+              f"over {summary['lanes']} lanes "
+              f"(fast {summary['fast_s']*1e3:.1f}ms, "
+              f"batch {summary['batch_s']*1e3:.1f}ms)",
+              file=sys.stderr)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    print(f"[bench_batch] wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+def bench_batch_speedup(benchmark):
+    """pytest-benchmark hook: one batch-engine sweep at the tiny scale,
+    and a sanity assertion that it matches the fast engine."""
+    config = SCALES["tiny"]
+
+    def run_batch():
+        return sweep("bench", config, "budget", [1, 2],
+                     policies=list(DEFAULT_POLICIES), engine="batch")
+
+    batch_result = benchmark.pedantic(run_batch, rounds=3, iterations=1)
+    fast_result = sweep("bench", config, "budget", [1, 2],
+                        policies=list(DEFAULT_POLICIES), engine="fast")
+    for label in fast_result.labels():
+        assert batch_result.series(label) == fast_result.series(label)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

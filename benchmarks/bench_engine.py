@@ -27,7 +27,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import statistics
 import sys
 import time
@@ -41,6 +40,11 @@ from repro.experiments.harness import (
 )
 from repro.online.registry import parse_policy_spec
 from repro.simulation.proxy import run_online
+
+try:
+    from benchmarks._provenance import provenance_header
+except ImportError:  # run as a top-level script (python benchmarks/...)
+    from _provenance import provenance_header
 
 __all__ = ["bench_engines", "bench_sweep_scaling", "main"]
 
@@ -154,9 +158,7 @@ def main(argv=None) -> int:
     scales = [scale.strip() for scale in args.scales.split(",")
               if scale.strip()]
     report = {
-        "generated_by": "benchmarks/bench_engine.py",
-        "python": platform.python_version(),
-        "cpu_count": os.cpu_count() or 1,
+        **provenance_header("bench_engine.py"),
         "policies": list(DEFAULT_POLICIES),
         "rounds": args.rounds,
         "scales": {},

@@ -29,7 +29,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import statistics
 import sys
 import tempfile
@@ -43,6 +42,11 @@ from repro.experiments.instances import (
     fast_default,
     generate_instance,
 )
+
+try:
+    from benchmarks._provenance import provenance_header
+except ImportError:  # run as a top-level script (python benchmarks/...)
+    from _provenance import provenance_header
 
 __all__ = ["bench_generation", "bench_cache", "main"]
 
@@ -233,9 +237,7 @@ def main(argv=None) -> int:
     scales = [scale.strip() for scale in args.scales.split(",")
               if scale.strip()]
     report = {
-        "generated_by": "benchmarks/bench_instances.py",
-        "python": platform.python_version(),
-        "cpu_count": os.cpu_count() or 1,
+        **provenance_header("bench_instances.py"),
         "rounds": args.rounds,
         "scales": {},
     }

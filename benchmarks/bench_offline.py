@@ -28,7 +28,6 @@ from __future__ import annotations
 import argparse
 import json
 import os
-import platform
 import statistics
 import sys
 import time
@@ -40,6 +39,11 @@ from repro.experiments.offline import offline_comparison
 from repro.offline.enumeration import EnumerationSolver
 from repro.offline.greedy import GreedyOfflineSolver
 from repro.offline.local_ratio import LocalRatioApproximation
+
+try:
+    from benchmarks._provenance import provenance_header
+except ImportError:  # run as a top-level script (python benchmarks/...)
+    from _provenance import provenance_header
 
 __all__ = ["bench_local_ratio", "bench_micro", "bench_offline_scaling",
            "main"]
@@ -183,9 +187,7 @@ def main(argv=None) -> int:
     scales = [scale.strip() for scale in args.scales.split(",")
               if scale.strip()]
     report = {
-        "generated_by": "benchmarks/bench_offline.py",
-        "python": platform.python_version(),
-        "cpu_count": os.cpu_count() or 1,
+        **provenance_header("bench_offline.py"),
         "rounds": args.rounds,
         "scales": {},
     }

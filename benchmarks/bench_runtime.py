@@ -33,13 +33,17 @@ import argparse
 import asyncio
 import json
 import os
-import platform
 import statistics
 import sys
 import time
 from dataclasses import asdict, replace
 
 from repro.runtime.aio.chaos import ChaosConfig, build_scenario, run_soak
+
+try:
+    from benchmarks._provenance import provenance_header
+except ImportError:  # run as a top-level script (python benchmarks/...)
+    from _provenance import provenance_header
 
 __all__ = ["bench_scenario", "main"]
 
@@ -127,9 +131,7 @@ def main(argv=None) -> int:
     scales = [scale.strip() for scale in args.scales.split(",")
               if scale.strip()]
     report = {
-        "generated_by": "benchmarks/bench_runtime.py",
-        "python": platform.python_version(),
-        "cpu_count": os.cpu_count() or 1,
+        **provenance_header("bench_runtime.py"),
         "rounds": args.rounds,
         "scales": {},
     }

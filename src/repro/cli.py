@@ -101,14 +101,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "stats", "serve", "soak"],
+        choices=sorted(_EXPERIMENTS) + ["all", "stats", "serve", "soak",
+                                        "bench-report"],
         help="which table/figure to run ('all' runs everything; "
              "'stats' prints baseline instance statistics; 'faults' "
              "sweeps origin-server failure rates for the "
              "graceful-degradation curves; 'offline' compares the "
              "offline solvers in the P^[1] regime; 'serve' starts the "
              "async HTTP/SSE proxy service; 'soak' runs the "
-             "deterministic chaos harness)",
+             "deterministic chaos harness; 'bench-report' prints the "
+             "committed benchmark baselines and gates on regressions)",
     )
     parser.add_argument(
         "--scale", choices=["paper", "default", "smoke"],
@@ -125,6 +127,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run (setting, repetition) cells in a process pool of N "
              "workers (default: serial); results are identical to the "
              "serial path",
+    )
+    parser.add_argument(
+        "--engine", choices=["fast", "batch", "reference"],
+        default="fast",
+        help="simulation engine: 'fast' (default) runs one combination "
+             "at a time, 'batch' groups cells sharing generated "
+             "instances into columnar mega blocks (identical results), "
+             "'reference' is the executable specification",
     )
     parser.add_argument(
         "--output", metavar="DIR", default=None,
@@ -248,6 +258,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.scale == "smoke":
             chaos_args.append("--smoke")
         return chaos_main(chaos_args)
+    if args.experiment == "bench-report":
+        from repro.bench_report import main as bench_report_main
+        return bench_report_main([])
     from repro.experiments.instances import configure_instances
     configure_instances(cache_dir=args.cache_dir,
                         fast=not args.no_fast_gen)
@@ -258,11 +271,13 @@ def main(argv: list[str] | None = None) -> int:
         else [args.experiment]
     for name in names:
         runner = _EXPERIMENTS[name]
-        if args.workers and "workers" in \
-                inspect.signature(runner).parameters:
-            result = runner(args.scale, workers=args.workers)
-        else:
-            result = runner(args.scale)
+        kwargs = {}
+        parameters = inspect.signature(runner).parameters
+        if args.workers and "workers" in parameters:
+            kwargs["workers"] = args.workers
+        if args.engine != "fast" and "engine" in parameters:
+            kwargs["engine"] = args.engine
+        result = runner(args.scale, **kwargs)
         _print_result(name, result, args.csv)
         if args.output:
             from repro.experiments.export import export_result

@@ -50,6 +50,20 @@ class Schedule:
         for resource_id, chronon in probes:
             self.add_probe(resource_id, chronon)
 
+    @classmethod
+    def from_grouped(cls, chronons: dict[int, set[Chronon]]) -> "Schedule":
+        """Adopt pre-grouped per-resource chronon sets without validation.
+
+        Bulk path for engines that already guarantee valid, deduplicated
+        probes (the batch engine emits each (resource, chronon) pair at
+        most once per run by construction). The mapping is adopted, not
+        copied.
+        """
+        schedule = cls()
+        schedule._chronons = chronons
+        schedule._count = sum(len(c) for c in chronons.values())
+        return schedule
+
     def add_probe(self, resource_id: int, chronon: Chronon) -> bool:
         """Record a probe; returns False when it was already present."""
         if resource_id < 0:

@@ -59,15 +59,17 @@ def _values(scale: Scale, paper_values: list, default_values: list,
 
 
 def table1(scale: Scale = "default", *,
-           workers: int | None = None) -> RunOutcome:
+           workers: int | None = None,
+           engine: str = "fast") -> RunOutcome:
     """Table 1 companion: all main policies at the baseline setting."""
     config = baseline(scale)
     return run_setting(config, policies=list(ALL_POLICY_VARIANTS),
-                       workers=workers)
+                       workers=workers, engine=engine)
 
 
 def figure3(scale: Scale = "default", *,
-           workers: int | None = None) -> RunOutcome:
+           workers: int | None = None,
+           engine: str = "fast") -> RunOutcome:
     """Figure 3: real-world(-like) auction trace, P vs NP comparison.
 
     Paper setting: AuctionWatch(3) profiles, 400 auctions, window W = 20,
@@ -86,11 +88,12 @@ def figure3(scale: Scale = "default", *,
     if scale == "smoke":
         config = config.with_(num_resources=40, num_profiles=50)
     return run_setting(config, policies=list(ALL_POLICY_VARIANTS),
-                       source="auction", workers=workers)
+                       source="auction", workers=workers, engine=engine)
 
 
 def figure4(scale: Scale = "default", *,
-           workers: int | None = None) -> SweepResult:
+           workers: int | None = None,
+           engine: str = "fast") -> SweepResult:
     """Figure 4: online policies vs offline approximation over rank(P).
 
     Paper setting: W = 0 and C = 1, producing ``P^[1]`` profiles — the
@@ -106,11 +109,12 @@ def figure4(scale: Scale = "default", *,
     ranks = _values(scale, [1, 2, 3, 4, 5], [1, 2, 3, 4, 5], [1, 2, 3])
     return sweep("Figure 4", config, "max_rank", ranks,
                  policies=["S-EDF(NP)", "MRSF(P)"],
-                 include_offline=True, workers=workers)
+                 include_offline=True, workers=workers, engine=engine)
 
 
 def figure5(scale: Scale = "default", *,
-           workers: int | None = None) -> FigurePair:
+           workers: int | None = None,
+           engine: str = "fast") -> FigurePair:
     """Figure 5: runtime scalability.
 
     Panel 1: offline approximation vs online policies on small workloads
@@ -131,7 +135,7 @@ def figure5(scale: Scale = "default", *,
                       [4, 8, 12])
     left = sweep("Figure 5(1)", config, "num_profiles", small_m,
                  policies=["S-EDF(NP)", "S-EDF(P)", "MRSF(P)", "M-EDF(P)"],
-                 include_offline=True, workers=workers)
+                 include_offline=True, workers=workers, engine=engine)
 
     big_config = config.with_(intensity=config.intensity * 2.5)
     big_m = _values(scale,
@@ -140,12 +144,13 @@ def figure5(scale: Scale = "default", *,
                     [8, 16, 24])
     right = sweep("Figure 5(2)", big_config, "num_profiles", big_m,
                   policies=["S-EDF(NP)", "S-EDF(P)", "MRSF(P)",
-                            "M-EDF(P)"], workers=workers)
+                            "M-EDF(P)"], workers=workers, engine=engine)
     return FigurePair(left=left, right=right)
 
 
 def figure6(scale: Scale = "default", *,
-           workers: int | None = None) -> FigurePair:
+           workers: int | None = None,
+           engine: str = "fast") -> FigurePair:
     """Figure 6: workload analysis.
 
     Panel 1 sweeps the average update intensity lambda; panel 2 sweeps the
@@ -159,18 +164,19 @@ def figure6(scale: Scale = "default", *,
                       [6, 12, 18, 24, 30],
                       [3, 6, 9])
     left = sweep("Figure 6(1)", config, "intensity", lambdas,
-                 workers=workers)
+                 workers=workers, engine=engine)
     profile_counts = _values(scale,
                              [100, 300, 500, 700, 900],
                              [40, 80, 120, 160, 200],
                              [4, 8, 12])
     right = sweep("Figure 6(2)", config, "num_profiles",
-                  profile_counts, workers=workers)
+                  profile_counts, workers=workers, engine=engine)
     return FigurePair(left=left, right=right)
 
 
 def figure7(scale: Scale = "default", *,
-           workers: int | None = None) -> FigurePair:
+           workers: int | None = None,
+           engine: str = "fast") -> FigurePair:
     """Figure 7: impact of user preferences.
 
     Panel 1 sweeps alpha (inter-user preference — popularity skew of the
@@ -186,18 +192,19 @@ def figure7(scale: Scale = "default", *,
                      [0.0, 0.5, 1.0, 1.37, 2.0],
                      [0.0, 1.0, 2.0])
     left = sweep("Figure 7(1)", config, "alpha", alphas,
-                 workers=workers)
+                 workers=workers, engine=engine)
     betas = _values(scale,
                     [0.0, 0.5, 1.0, 1.5, 2.0],
                     [0.0, 0.5, 1.0, 1.5, 2.0],
                     [0.0, 1.0, 2.0])
     right = sweep("Figure 7(2)", config, "beta", betas,
-                  workers=workers)
+                  workers=workers, engine=engine)
     return FigurePair(left=left, right=right)
 
 
 def figure8(scale: Scale = "default", *,
-           workers: int | None = None) -> SweepResult:
+           workers: int | None = None,
+           engine: str = "fast") -> SweepResult:
     """Figure 8: effect of budgetary limitations.
 
     Sweeps the per-chronon budget C. Expected shape: GC increases markedly
@@ -213,4 +220,4 @@ def figure8(scale: Scale = "default", *,
     config = config.with_(intensity=config.intensity * 2)
     budgets = _values(scale, [1, 2, 3, 4, 5], [1, 2, 3, 4, 5], [1, 2, 3])
     return sweep("Figure 8", config, "budget", budgets,
-                 workers=workers)
+                 workers=workers, engine=engine)

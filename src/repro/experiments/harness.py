@@ -16,6 +16,7 @@ results are merged back in the serial iteration order.
 from __future__ import annotations
 
 import statistics
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
@@ -27,9 +28,12 @@ from repro.experiments.instances import (
     _pool_worker_init,
     active_cache,
     fast_default,
+    generation_key,
 )
 from repro.offline.local_ratio import LocalRatioApproximation
 from repro.online.registry import parse_policy_spec
+from repro.simulation.batch import BatchUnsupported, batch_kind, run_block
+from repro.simulation.columnar import ColumnarInstance
 from repro.simulation.proxy import run_online
 from repro.simulation.result import SimulationResult
 from repro.traces.events import UpdateTrace
@@ -177,15 +181,145 @@ def _run_cell(config: ExperimentConfig, repetition: int,
     return cell
 
 
+#: Lane cap per columnar pass: bounds the (lanes x states) working-set
+#: of one mega block; oversized blocks run as chunks over one shared
+#: column space.
+_MAX_BLOCK_LANES = 512
+
+#: A columnar lowering is a pure function of the generated instances and
+#: the epoch, and sweeps re-run the same block once per swept value —
+#: keep the last few lowerings so repeated blocks skip the build.
+#: ``run_block`` never mutates the shared lowering (all mutable state is
+#: per-run lane arrays), so cached blocks are safe to reuse.
+_COLUMNAR_CACHE: OrderedDict[tuple, ColumnarInstance] = OrderedDict()
+_COLUMNAR_CACHE_SIZE = 8
+
+
+def _block_key(config: ExperimentConfig, source: str) -> str:
+    """Grouping key for cells that can share one columnar mega block.
+
+    Cells agree on everything that feeds instance generation — budget,
+    repetition count and index are free to differ, because repetitions
+    become *instances* inside the block and the budget is a per-lane
+    property.
+    """
+    return generation_key(config, 0, source)
+
+
+def _run_cells_blocked(cell_args: Sequence[tuple]
+                       ) -> list[dict[str, tuple[float, float]]]:
+    """Serial batch-engine path: group cells into columnar mega blocks.
+
+    Cells sharing a :func:`_block_key` (same generated world up to
+    budget/repetition) are lowered into one shared column space and
+    advanced together — every policy of every cell is a lane. Policies
+    without a columnar kind, and blocks the columnar form cannot encode,
+    fall back to the fast engine per (cell, policy). Results land in the
+    original cell order.
+    """
+    cells: list[dict[str, tuple[float, float]]] = [None] * len(cell_args)
+    blocks: dict[str, list[int]] = {}
+    for at, args in enumerate(cell_args):
+        config, _repetition, _policies, _offline, source = args[:5]
+        blocks.setdefault(_block_key(config, source), []).append(at)
+    for indices in blocks.values():
+        _run_one_block(cell_args, indices, cells)
+    return cells
+
+
+def _run_one_block(cell_args: Sequence[tuple], indices: Sequence[int],
+                   cells: list) -> None:
+    """Run one mega block's cells, writing results into ``cells``."""
+    epoch = cell_args[indices[0]][0].epoch
+    inst_index: dict[str, int] = {}
+    profile_sets: list[ProfileSet] = []
+    cell_insts: dict[int, int] = {}
+    lane_specs: list[tuple] = []
+    lane_home: list[tuple[int, str]] = []
+    fallback: list[tuple[int, str]] = []
+    for at in indices:
+        config, repetition, policies, _offline, source = \
+            cell_args[at][:5]
+        gkey = generation_key(config, repetition, source)
+        inst = inst_index.get(gkey)
+        if inst is None:
+            _trace, profiles = make_instance(config, repetition,
+                                             source=source)
+            inst = inst_index[gkey] = len(profile_sets)
+            profile_sets.append(profiles)
+        cell_insts[at] = inst
+        cells[at] = {}
+        for label in policies:
+            policy, preemptive = parse_policy_spec(label)
+            if batch_kind(policy) is None:
+                fallback.append((at, label))
+                continue
+            lane_specs.append((policy, preemptive, config.budget_vector,
+                               inst))
+            lane_home.append((at, label))
+
+    if lane_specs:
+        # Generation keys pin down the instances *and* the epoch, so the
+        # ordered key tuple identifies the lowering exactly.
+        cache_key = tuple(inst_index)
+        try:
+            columnar = _COLUMNAR_CACHE.get(cache_key)
+            if columnar is None:
+                columnar = ColumnarInstance.build_many(profile_sets, epoch)
+                _COLUMNAR_CACHE[cache_key] = columnar
+                while len(_COLUMNAR_CACHE) > _COLUMNAR_CACHE_SIZE:
+                    _COLUMNAR_CACHE.popitem(last=False)
+            else:
+                _COLUMNAR_CACHE.move_to_end(cache_key)
+            results: list | None = []
+            for lo in range(0, len(lane_specs), _MAX_BLOCK_LANES):
+                results.extend(run_block(
+                    profile_sets, epoch,
+                    lane_specs[lo:lo + _MAX_BLOCK_LANES],
+                    columnar=columnar))
+        except BatchUnsupported:
+            results = None
+        if results is None:
+            fallback = list(lane_home) + fallback
+        else:
+            for (at, label), result in zip(lane_home, results):
+                cells[at][label] = (result.gc, result.runtime_seconds)
+
+    for at, label in fallback:
+        config = cell_args[at][0]
+        policy, preemptive = parse_policy_spec(label)
+        result = run_online(profile_sets[cell_insts[at]], epoch,
+                            config.budget_vector, policy,
+                            preemptive=preemptive, engine="fast")
+        cells[at][label] = (result.gc, result.runtime_seconds)
+
+    for at in indices:
+        config, _repetition, _policies, include_offline, _source, \
+            _engine, offline_engine = cell_args[at]
+        if include_offline:
+            result = LocalRatioApproximation(engine=offline_engine).solve(
+                profile_sets[cell_insts[at]], epoch, config.budget_vector)
+            cells[at][OFFLINE_LABEL] = (result.gc, result.runtime_seconds)
+
+
+def _run_cells_serial(cell_args: Sequence[tuple]
+                      ) -> list[dict[str, tuple[float, float]]]:
+    """Run cells in-process: blocked for the batch engine, else one by one."""
+    if cell_args and cell_args[0][5] == "batch":
+        return _run_cells_blocked(cell_args)
+    return [_run_cell(*args) for args in cell_args]
+
+
 def _run_cell_batch(cell_args: Sequence[tuple]
                     ) -> list[dict[str, tuple[float, float]]]:
-    """Run a contiguous chunk of cells inside one worker task.
+    """Run a chunk of cells inside one worker task.
 
     Chunked submission amortizes pickling and lets the worker-local
     instance cache (seeded by the pool initializer) serve repeated
-    (setting, repetition) instances without regenerating them.
+    (setting, repetition) instances without regenerating them. Batch
+    chunks group into mega blocks exactly like the serial path.
     """
-    return [_run_cell(*args) for args in cell_args]
+    return _run_cells_serial(cell_args)
 
 
 def _run_cells_parallel(cell_args: Sequence[tuple],
@@ -195,23 +329,41 @@ def _run_cells_parallel(cell_args: Sequence[tuple],
 
     Workers are initialized with the parent's cache configuration
     (cache directory and fast/reference choice), so a shared
-    ``--cache-dir`` lets them reuse stored instances. Cells are split
-    into contiguous chunks (a few per worker, to balance load without
-    losing batching) and results are flattened back in submission
-    order — byte-identical to the serial path's ordering.
+    ``--cache-dir`` lets them reuse stored instances. Cells that share
+    an instance (same :func:`_block_key`) are grouped into the same
+    chunk — one worker then serves them from one cache entry (and, for
+    the batch engine, one columnar block) instead of regenerating or
+    re-reading the instance N times. Chunks are packed to a few per
+    worker to balance load, and results are scattered back into
+    submission order — identical to the serial path's ordering for any
+    worker count.
     """
     chunk_size = max(1, -(-len(cell_args) // (workers * 4)))
-    chunks = [cell_args[at:at + chunk_size]
-              for at in range(0, len(cell_args), chunk_size)]
+    groups: dict[str, list[int]] = {}
+    for at, args in enumerate(cell_args):
+        groups.setdefault(_block_key(args[0], args[4]), []).append(at)
+    chunks: list[list[int]] = []
+    current: list[int] = []
+    for group in groups.values():
+        current.extend(group)
+        if len(current) >= chunk_size:
+            chunks.append(current)
+            current = []
+    if current:
+        chunks.append(current)
     cache = active_cache()
     cache_dir = str(cache.cache_dir) if cache.cache_dir is not None else None
     with ProcessPoolExecutor(
             max_workers=workers, initializer=_pool_worker_init,
             initargs=(cache_dir, fast_default())) as pool:
-        futures = [pool.submit(_run_cell_batch, chunk) for chunk in chunks]
-        cells: list[dict[str, tuple[float, float]]] = []
-        for future in futures:
-            cells.extend(future.result())
+        futures = [
+            pool.submit(_run_cell_batch, [cell_args[at] for at in chunk])
+            for chunk in chunks
+        ]
+        cells: list[dict[str, tuple[float, float]]] = [None] * len(cell_args)
+        for chunk, future in zip(chunks, futures):
+            for at, cell in zip(chunk, future.result()):
+                cells[at] = cell
     return cells
 
 
@@ -250,18 +402,15 @@ def run_setting(config: ExperimentConfig,
     ``offline_engine`` picks the Local-Ratio implementation (both produce
     identical schedules; "reference" exists for ablations).
     """
+    cell_args = [
+        (config, repetition, tuple(policies), include_offline,
+         source, engine, offline_engine)
+        for repetition in range(config.repetitions)
+    ]
     if workers is not None and workers > 1 and config.repetitions > 1:
-        cells = _run_cells_parallel([
-            (config, repetition, tuple(policies), include_offline,
-             source, engine, offline_engine)
-            for repetition in range(config.repetitions)
-        ], workers)
+        cells = _run_cells_parallel(cell_args, workers)
     else:
-        cells = [
-            _run_cell(config, repetition, tuple(policies),
-                      include_offline, source, engine, offline_engine)
-            for repetition in range(config.repetitions)
-        ]
+        cells = _run_cells_serial(cell_args)
     return _merge_cells(config, cells, policies, include_offline)
 
 
@@ -280,14 +429,21 @@ def sweep(name: str, base: ExperimentConfig, parameter: str,
     numbers are identical to a serial sweep.
     """
     configs = [base.with_(**{parameter: value}) for value in values]
-    if workers is not None and workers > 1:
+    if (workers is not None and workers > 1) or engine == "batch":
+        # One flat cell list for the whole sweep: the pool spreads it
+        # over workers, and the batch engine groups cells that share
+        # generated instances (e.g. a budget sweep's settings) into
+        # columnar mega blocks spanning config boundaries.
         flat = [
             (config, repetition, tuple(policies), include_offline,
              source, engine, offline_engine)
             for config in configs
             for repetition in range(config.repetitions)
         ]
-        cells = _run_cells_parallel(flat, workers)
+        if workers is not None and workers > 1:
+            cells = _run_cells_parallel(flat, workers)
+        else:
+            cells = _run_cells_serial(flat)
         runs = []
         cursor = 0
         for config in configs:

@@ -46,11 +46,18 @@ from repro.workloads.generator import GeneratorConfig, ProfileGenerator
 __all__ = [
     "InstanceCache",
     "instance_key",
+    "generation_key",
     "generate_instance",
     "configure_instances",
     "active_cache",
     "fast_default",
 ]
+
+#: Config fields that do not influence instance generation: the budget
+#: only constrains the *simulation* and ``repetitions`` only says how
+#: many instances a setting draws (each identified by its own repetition
+#: index). Cells differing solely in these share generated instances.
+_NON_GENERATIVE_FIELDS = ("budget", "repetitions")
 
 #: Bump when the serialized layout or the generation seeding changes —
 #: stale on-disk entries from older layouts then miss instead of
@@ -71,6 +78,30 @@ def instance_key(config: ExperimentConfig, repetition: int,
         "source": source,
         "repetition": repetition,
         "config": asdict(config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def generation_key(config: ExperimentConfig, repetition: int,
+                   source: str) -> str:
+    """Content hash of the *generated instance* a cell runs on.
+
+    Like :func:`instance_key` but excluding the config fields that do
+    not feed generation (budget, repetitions): two sweep cells that
+    differ only in budget map to the same generation key and therefore
+    the same (trace, profiles) object. This is the batching key — the
+    harness groups cells sharing it into one columnar mega block, and
+    the in-memory LRU dedupes on it.
+    """
+    fields = asdict(config)
+    for name in _NON_GENERATIVE_FIELDS:
+        fields.pop(name, None)
+    payload = {
+        "version": FORMAT_VERSION,
+        "source": source,
+        "repetition": repetition,
+        "config": fields,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -153,24 +184,31 @@ class InstanceCache:
                         source: str = "poisson",
                         fast: bool = True
                         ) -> tuple[UpdateTrace, ProfileSet]:
-        """The instance for a cell — from memory, disk, or generation."""
-        key = instance_key(config, repetition, source)
-        cached = self._entries.get(key)
+        """The instance for a cell — from memory, disk, or generation.
+
+        The in-memory LRU is keyed on :func:`generation_key`, so cells
+        that differ only in non-generative fields (budget, repetitions)
+        share one entry; the disk store keeps the full
+        :func:`instance_key` so stored entries remain exact.
+        """
+        mem_key = generation_key(config, repetition, source)
+        cached = self._entries.get(mem_key)
         if cached is not None:
-            self._entries.move_to_end(key)
+            self._entries.move_to_end(mem_key)
             self.memory_hits += 1
             return cached
         if self.cache_dir is not None:
+            key = instance_key(config, repetition, source)
             instance = self._load(key, config)
             if instance is not None:
                 self.disk_hits += 1
-                self._remember(key, instance)
+                self._remember(mem_key, instance)
                 return instance
         self.misses += 1
         instance = generate_instance(config, repetition, source, fast=fast)
         if self.cache_dir is not None:
             self._store(key, config, repetition, source, instance)
-        self._remember(key, instance)
+        self._remember(mem_key, instance)
         return instance
 
     def stats(self) -> dict[str, int]:

@@ -1,12 +1,18 @@
 """Simulation environment: the online proxy loop and result types."""
 
+from repro.simulation.batch import batch_kind, run_block
+from repro.simulation.columnar import BatchUnsupported, ColumnarInstance
 from repro.simulation.engine import FastProxySimulator
 from repro.simulation.proxy import ProxySimulator, run_online
 from repro.simulation.result import SimulationResult
 
 __all__ = [
+    "BatchUnsupported",
+    "ColumnarInstance",
     "FastProxySimulator",
     "ProxySimulator",
     "SimulationResult",
+    "batch_kind",
+    "run_block",
     "run_online",
 ]

@@ -1,0 +1,480 @@
+"""Columnar mega-batch simulation engine.
+
+:func:`run_block` advances *many* fault-free online runs over one shared
+instance — a whole policy lineup × every budget variant × every
+repetition that maps to the same generated profiles — in a single
+chronon-major vectorized loop. Each independent run is a **lane**: a
+``(policy, preemptive, budget)`` triple with its own row in the
+``(lanes, ...)`` state matrices (captured flags, per-state capture
+counts, commitment and doom flags, M-EDF aggregates). One pass over the
+instance's per-chronon activity CSR (see
+:mod:`repro.simulation.columnar`) then serves every lane at once:
+
+* candidate masks are boolean array ops over the chronon's activity
+  slice;
+* per-resource pool aggregation is a ``minimum.reduceat`` over packed
+  int64 candidate keys (score, finish, start) — the reference engines'
+  full lexicographic candidate order, including the ``(seq, ei_id)``
+  tie-break, is encoded positionally, so an integer min IS the
+  tie-broken best;
+* resource ranking packs ``(score, finish, -pool, start, rid)`` into one
+  int64 per (lane, resource) and selects each lane's ``C_j(T)`` smallest
+  with one argsort/argpartition;
+* non-preemptive lanes run the two-pool rule exactly: committed-state
+  pools first, then fresh states for leftover budget;
+* captures, budget decrements and the M-EDF sum/started aggregates are
+  scatter-adds.
+
+The engine is **schedule-identical** to
+:class:`~repro.simulation.engine.FastProxySimulator` for every supported
+policy (see ``tests/properties/test_prop_batch.py``): probe-for-probe,
+report-for-report. Unsupported configurations — fault injection,
+policies outside the known set, instances whose packed keys overflow —
+raise :class:`~repro.simulation.columnar.BatchUnsupported`; callers fall
+back to the fast engine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.budget import BudgetVector
+from repro.core.completeness import CompletenessReport
+from repro.core.profile import ProfileSet
+from repro.core.schedule import Schedule
+from repro.core.timeline import Epoch
+from repro.online.base import EI_LEVEL, Policy
+from repro.online.baselines import (
+    CoveragePolicy,
+    FCFSPolicy,
+    LeastFlexibleFirstPolicy,
+    MostResidualFirstPolicy,
+    StaticRankPolicy,
+)
+from repro.online.medf import MEDFPolicy
+from repro.online.mrsf import MRSFPolicy
+from repro.online.sedf import SEDFPolicy
+from repro.simulation.columnar import (
+    BatchUnsupported,
+    ColumnarInstance,
+    INF_KEY,
+)
+from repro.simulation.result import SimulationResult
+
+__all__ = ["BatchUnsupported", "batch_kind", "run_block"]
+
+#: Supported policy types -> static-key kind. Exact type match only:
+#: subclasses may override scoring in ways the columnar keys don't model.
+_KINDS = {
+    SEDFPolicy: "sedf",
+    FCFSPolicy: "fcfs",
+    LeastFlexibleFirstPolicy: "lff",
+    StaticRankPolicy: "srank",
+    MRSFPolicy: "mrsf",
+    MostResidualFirstPolicy: "anti",
+    CoveragePolicy: "coverage",
+    MEDFPolicy: "medf",
+}
+
+_DYNAMIC_KINDS = frozenset({"mrsf", "anti", "coverage", "medf"})
+
+
+def batch_kind(policy: Policy) -> str | None:
+    """The batch engine's kind tag for ``policy``, or None if unsupported."""
+    if type(policy) in _KINDS:
+        return _KINDS[type(policy)]
+    return None
+
+
+@dataclass(frozen=True)
+class _Lane:
+    policy: Policy
+    preemptive: bool
+    budget: BudgetVector
+    inst: int
+    kind: str
+    sees_doom: bool
+
+
+def _make_lanes(lanes: Sequence[tuple], n_inst: int) -> list[_Lane]:
+    out: list[_Lane] = []
+    for spec in lanes:
+        if len(spec) == 4:
+            policy, preemptive, budget, inst = spec
+        else:
+            policy, preemptive, budget = spec
+            inst = 0
+        kind = batch_kind(policy)
+        if kind is None:
+            raise BatchUnsupported(
+                f"policy {policy.name!r} ({type(policy).__name__}) has no "
+                "columnar scoring kind")
+        if not 0 <= inst < n_inst:
+            raise BatchUnsupported(
+                f"lane instance {inst} out of range for {n_inst} instances")
+        out.append(_Lane(policy, preemptive, budget, inst, kind,
+                         policy.level != EI_LEVEL))
+    return out
+
+
+def run_block(
+    profiles: ProfileSet | Sequence[ProfileSet],
+    epoch: Epoch,
+    lanes: Sequence[tuple],
+    *,
+    columnar: ColumnarInstance | None = None,
+) -> list[SimulationResult]:
+    """Run every lane over the shared column space in one vectorized pass.
+
+    ``profiles`` is one :class:`ProfileSet` or a sequence of them (a mega
+    block over several same-epoch instances, e.g. a sweep cell's
+    repetitions). Each lane is ``(policy, preemptive, budget)`` — with an
+    optional fourth element naming the lane's instance index — and gets
+    one :class:`SimulationResult`, in lane order, identical to what
+    ``FastProxySimulator(profiles[inst], epoch, budget, policy,
+    preemptive).run()`` would produce. ``runtime_seconds`` is the block
+    wall time split evenly across lanes (per-lane attribution is
+    meaningless inside a shared pass).
+
+    Raises :class:`BatchUnsupported` for policies without a columnar
+    kind or instances whose packed keys overflow.
+    """
+    started = time.perf_counter()
+    if columnar is not None:
+        col = columnar
+    elif isinstance(profiles, ProfileSet):
+        col = ColumnarInstance.build(profiles, epoch)
+    else:
+        col = ColumnarInstance.build_many(profiles, epoch)
+    lane_objs = _make_lanes(lanes, col.n_inst)
+    L = len(lane_objs)
+    probes = _advance(col, lane_objs) if L else []
+    elapsed = time.perf_counter() - started
+    per_lane = elapsed / L if L else 0.0
+    return [_finalize(col, lane, lane_sched, lane_caps, per_lane)
+            for lane, lane_sched, lane_caps in probes]
+
+
+# ----------------------------------------------------------------------
+# The chronon-major loop
+# ----------------------------------------------------------------------
+
+def _advance(col: ColumnarInstance, lane_objs: list[_Lane]):
+    L = len(lane_objs)
+    S, E = col.S, col.E
+    lane_inst = np.array([ln.inst for ln in lane_objs], dtype=np.int64)
+    # Capture state is kept *inverted* (alive = still uncaptured) so the
+    # hot per-chronon gathers need no element-wise NOT. Foreign EIs
+    # (other instances in a mega block) start dead: they can never
+    # become candidates, never doom, never count — the whole
+    # cross-instance separation in one init.
+    alive = col.ei_inst[None, :] == lane_inst[:, None]
+    cap_count = np.zeros((L, S), dtype=np.int64)
+    # A state is committed exactly when it has ever yielded a capture
+    # (the fault-free path never reaches the explicit commit hook), so
+    # commitment is a *view* of cap_count — no separate scatter needed.
+    # Doom flags (inverted, like alive) are only ever *cleared* for
+    # lanes whose policy outranks the EI level (sees_doom); other rows
+    # stay all-True, so one uniform mask works for every lane.
+    undoomed = np.ones((L, S), dtype=bool)
+
+    np_rows = np.array([i for i, ln in enumerate(lane_objs)
+                        if not ln.preemptive], dtype=np.int64)
+    doom_rows = np.array([i for i, ln in enumerate(lane_objs)
+                          if ln.sees_doom], dtype=np.int64)
+    kind_rows: dict[str, np.ndarray] = {}
+    for kind in dict.fromkeys(ln.kind for ln in lane_objs):
+        kind_rows[kind] = np.array(
+            [i for i, ln in enumerate(lane_objs) if ln.kind == kind],
+            dtype=np.int64)
+    medf_rows = kind_rows.get("medf")
+    need_medf = medf_rows is not None
+    if need_medf:
+        capsum = np.zeros((L, S), dtype=np.int64)
+        capsum_flat = capsum.reshape(-1)
+        is_medf = np.zeros(L, dtype=bool)
+        is_medf[medf_rows] = True
+    cap_flat = cap_count.reshape(-1)
+
+    n_act = col.act_chronons.size
+    # Per-lane budget for each *active* chronon; inactive chronons have
+    # no candidates, so their budget can never be spent.
+    budgets = np.empty((L, n_act), dtype=np.int64)
+    for i, ln in enumerate(lane_objs):
+        if ln.budget.is_constant():
+            budgets[i] = ln.budget.default
+        else:
+            budgets[i] = [ln.budget.at(int(T)) for T in col.act_chronons]
+
+    fs_bits = col.fs_bits
+    n_max = col.n_max
+    medf_off = col.medf_off
+    hi2d = np.empty((L, 0), dtype=np.int64)
+    lane_col = np.arange(L)[:, None]
+    g_max = int(np.diff(col.grp_indptr).max()) if n_act else 0
+    col_idx = np.arange(max(g_max, 1), dtype=np.int64)
+    # Scalar per-chronon reads go through plain Python lists — ndarray
+    # scalar indexing costs several times more in the hot loop.
+    kmax_per_t = budgets.max(axis=0).tolist()
+    act_chronons = col.act_chronons.tolist()
+    act_indptr = col.act_indptr.tolist()
+    act_e = col.act_e
+    ps_act = col.ps_act
+    grp_indptr = col.grp_indptr.tolist()
+    grp_starts = col.grp_starts
+    grp_rid = col.grp_rid
+    grp_of_flat = col.grp_of
+    finstart_flat = col.finstart_act
+    hi_static = col.hi_static
+    started_flat = col.started_act
+    init_flat = col.init_sum_act
+    fin_flat = col.fin_act
+    resource_key = col.resource_key
+
+    # (chronon, lane rows, resource ids) per chronon with probes; grouped
+    # into per-lane schedules once after the loop.
+    probe_log: list[tuple[int, np.ndarray, np.ndarray]] = []
+    xe_ti = 0
+    n_xe = col.xe_chronons.size if doom_rows.size else 0
+    xe_chronons = col.xe_chronons.tolist()
+    xe_indptr = col.xe_indptr.tolist()
+    xg_indptr = col.xg_indptr.tolist()
+    doom_col = doom_rows[:, None]
+
+    for ti in range(n_act):
+        T = act_chronons[ti]
+
+        # Expiry events: flush everything due by T. Captured status is
+        # frozen once an EI's window closes, so deferring an expiry from
+        # a quiet chronon to the next active one is exact. (With no
+        # doom-sensitive lane n_xe is 0 and the flush never runs.)
+        while xe_ti < n_xe and xe_chronons[xe_ti] <= T:
+            lo = xe_indptr[xe_ti]
+            hi = xe_indptr[xe_ti + 1]
+            glo2 = xg_indptr[xe_ti]
+            ghi2 = xg_indptr[xe_ti + 1]
+            xe_ti += 1
+            xe = col.xe_e[lo:hi]
+            misses = alive[doom_col, xe[None, :]]
+            # OR-reduce to one column per state before the fancy &=:
+            # duplicate targets in a buffered assign would be lossy.
+            seg = col.xg_starts[glo2:ghi2] - lo
+            if seg.size != xe.size:
+                misses = np.logical_or.reduceat(misses, seg, axis=1)
+            undoomed[doom_col, col.xg_state[glo2:ghi2][None, :]] &= ~misses
+
+        kmax = kmax_per_t[ti]
+        if kmax <= 0:
+            continue
+        k_arr = budgets[:, ti]
+
+        alo = act_indptr[ti]
+        ahi = act_indptr[ti + 1]
+        A = ahi - alo
+        ae = act_e[alo:ahi]
+        ps = ps_act[alo:ahi]
+        glo = grp_indptr[ti]
+        ghi = grp_indptr[ti + 1]
+        G = ghi - glo
+        gs_local = grp_starts[glo:ghi] - alo
+        grids = grp_rid[glo:ghi]
+        grp_of = grp_of_flat[alo:ahi]
+        finstart = finstart_flat[alo:ahi]
+
+        cand = alive[:, ae]
+        if doom_rows.size:
+            cand &= undoomed[:, ps]
+        if not cand.any():
+            continue
+
+        # Per-lane candidate keys (score, finish, start) packed int64.
+        if hi2d.shape[1] < A:
+            hi2d = np.empty((L, A), dtype=np.int64)
+        hi = hi2d[:, :A]
+        for kind, rows in kind_rows.items():
+            if kind not in _DYNAMIC_KINDS:
+                hi[rows] = hi_static[kind][alo:ahi]
+            elif kind == "mrsf":
+                capg = cap_count[rows[:, None], ps[None, :]]
+                hi[rows] = (hi_static["srank"][alo:ahi]
+                            - (capg << fs_bits))
+            elif kind == "anti":
+                capg = cap_count[rows[:, None], ps[None, :]]
+                hi[rows] = (hi_static["anti"][alo:ahi]
+                            + (capg << fs_bits))
+            elif kind == "coverage":
+                # Coverage scores -len(pool) over the *full* candidate
+                # index (both NP pools), offset to n_max - len(pool).
+                n_tot = np.add.reduceat(
+                    cand[rows], gs_local, axis=1).astype(np.int64)
+                hi[rows] = (((n_max - n_tot[:, grp_of]) << fs_bits)
+                            + finstart)
+            elif kind == "medf":
+                rc = rows[:, None]
+                pc = ps[None, :]
+                # Lane-independent part first (A-sized, not lanes x A).
+                base = (init_flat[alo:ahi] + medf_off
+                        - T * started_flat[alo:ahi])
+                score = (base - capsum[rc, pc]) + T * cap_count[rc, pc]
+                hi[rows] = (score << fs_bits) + finstart
+            else:  # pragma: no cover - _make_lanes already screened kinds
+                raise BatchUnsupported(f"unknown kind {kind!r}")
+
+        # Phase 1 pools: preemptive lanes see every candidate;
+        # non-preemptive lanes only candidates of committed states.
+        if np_rows.size:
+            comm_np = cap_count[np_rows[:, None], ps[None, :]] > 0
+            pool = cand.copy()
+            pool[np_rows] &= comm_np
+        else:
+            pool = cand
+
+        masked = np.where(pool, hi, INF_KEY)
+        best = np.minimum.reduceat(masked, gs_local, axis=1)
+        pool_n = np.add.reduceat(pool, gs_local, axis=1).astype(np.int64)
+        res_key = resource_key(best, pool_n, grids)
+
+        # Each lane takes its k_l smallest rank keys; INF_KEY (empty
+        # pool) sorts last, so the first k_l valid slots of the sorted
+        # order are exactly the fast engine's nsmallest picks. A full
+        # argsort beats the argpartition + small-sort chain until G is
+        # well into the hundreds (measured crossover ~200).
+        take = min(kmax, G)
+        if G <= 192:
+            order = np.argsort(res_key, axis=1)[:, :take]
+        else:
+            part = np.argpartition(res_key, take - 1, axis=1)[:, :take]
+            order = part[lane_col, np.argsort(res_key[lane_col, part],
+                                              axis=1)]
+        ranked = res_key[lane_col, order]
+        sel = (ranked != INF_KEY) & (col_idx[:take][None, :]
+                                     < k_arr[:, None])
+        picks = np.zeros((L, G), dtype=bool)
+        rr, cc = np.nonzero(sel)
+        gids = order[rr, cc]
+        picks[rr, gids] = True
+        pr_rows, pr_gs = rr, gids
+
+        # Phase 2: non-preemptive lanes spend leftover budget on fresh
+        # (uncommitted) states, excluding already-probed resources.
+        if np_rows.size:
+            d1 = sel.sum(axis=1)
+            left = ((k_arr[np_rows] > d1[np_rows])
+                    & (k_arr[np_rows] > 0))
+            rows2 = np_rows[left]
+        else:
+            rows2 = np_rows
+        if rows2.size:
+            pool2 = cand[rows2] & ~comm_np[left]
+            masked2 = np.where(pool2, hi[rows2], INF_KEY)
+            best2 = np.minimum.reduceat(masked2, gs_local, axis=1)
+            n2 = np.add.reduceat(pool2, gs_local, axis=1).astype(np.int64)
+            key2 = resource_key(best2, n2, grids)
+            key2[picks[rows2]] = INF_KEY
+            need = k_arr[rows2] - d1[rows2]
+            nmax2 = int(need.max())
+            take2 = min(nmax2, G)
+            row2_col = np.arange(rows2.size)[:, None]
+            if G <= 192:
+                order2 = np.argsort(key2, axis=1)[:, :take2]
+            else:
+                part2 = np.argpartition(key2, take2 - 1,
+                                        axis=1)[:, :take2]
+                order2 = part2[row2_col,
+                               np.argsort(key2[row2_col, part2], axis=1)]
+            ranked2 = key2[row2_col, order2]
+            sel2 = (ranked2 != INF_KEY) & (col_idx[:take2][None, :]
+                                           < need[:, None])
+            rr2, cc2 = np.nonzero(sel2)
+            gids2 = order2[rr2, cc2]
+            picks[rows2[rr2], gids2] = True
+            pr_rows = np.concatenate((pr_rows, rows2[rr2]))
+            pr_gs = np.concatenate((pr_gs, gids2))
+
+        # Captures: a probed resource yields *every* candidate on it.
+        if pr_rows.size == 0:
+            continue
+        probe_log.append((T, pr_rows, grids[pr_gs]))
+        er, ec = np.nonzero(cand & picks[:, grp_of])
+        alive[er, ae[ec]] = False
+        flat = er * S + ps[ec]
+        np.add.at(cap_flat, flat, 1)
+        if need_medf:
+            m = is_medf[er]
+            np.add.at(capsum_flat, flat[m], fin_flat[alo:ahi][ec[m]])
+
+    # Group the probe log into per-lane, per-resource chronon sets — the
+    # exact shape Schedule stores. Insertion order is irrelevant:
+    # Schedule.probes() sorts by (chronon, resource).
+    lane_scheds: list[dict[int, set[int]]] = [{} for _ in range(L)]
+    if probe_log:
+        rows_all = np.concatenate([r for _, r, _ in probe_log])
+        rids_all = np.concatenate([g for _, _, g in probe_log])
+        ts_all = np.concatenate(
+            [np.full(r.size, t, dtype=np.int64) for t, r, _ in probe_log])
+        # Undo the per-instance resource-id offset before reporting.
+        rids_all = rids_all - lane_inst[rows_all] * col.rid_stride
+        order = np.lexsort((rids_all, rows_all))
+        rows_all = rows_all[order]
+        rids_all = rids_all[order]
+        ts_list = ts_all[order].tolist()
+        seg = np.concatenate(
+            ([True], (rows_all[1:] != rows_all[:-1])
+             | (rids_all[1:] != rids_all[:-1])))
+        starts = np.nonzero(seg)[0]
+        ends = np.append(starts[1:], rows_all.size)
+        for lo, hi_s, lane, rid in zip(starts.tolist(), ends.tolist(),
+                                       rows_all[starts].tolist(),
+                                       rids_all[starts].tolist()):
+            lane_scheds[lane][rid] = set(ts_list[lo:hi_s])
+
+    return [(lane_objs[i], lane_scheds[i], cap_count[i]) for i in range(L)]
+
+
+# ----------------------------------------------------------------------
+# Final accounting
+# ----------------------------------------------------------------------
+
+def _finalize(col: ColumnarInstance, lane: _Lane,
+              sched: dict[int, set[int]], cap_count: np.ndarray,
+              runtime: float) -> SimulationResult:
+    complete = cap_count == col.st_size
+    if col.n_inst > 1:
+        complete = complete & (col.st_inst == lane.inst)
+    captured_total = int(np.count_nonzero(complete))
+    total = col.inst_sizes[lane.inst]
+
+    profile_totals = col.profile_totals[lane.inst]
+    max_pid = max(profile_totals, default=-1)
+    p_hits = np.bincount(col.st_profile[complete], minlength=max_pid + 1) \
+        if col.S else np.zeros(max_pid + 1, dtype=np.int64)
+    per_profile = {pid: (int(p_hits[pid]) if pid < p_hits.size else 0,
+                         tot)
+                   for pid, tot in profile_totals.items()}
+
+    rank_totals = col.rank_totals[lane.inst]
+    max_size = max(rank_totals, default=0)
+    r_hits = np.bincount(col.st_size[complete], minlength=max_size + 1) \
+        if col.S else np.zeros(max_size + 1, dtype=np.int64)
+    per_rank = {size: (int(r_hits[size]), tot)
+                for size, tot in rank_totals.items()}
+
+    report = CompletenessReport(
+        captured=captured_total,
+        total=total,
+        per_profile=per_profile,
+        per_rank=per_rank,
+    )
+    schedule = Schedule.from_grouped(sched)
+    return SimulationResult(
+        label=lane.policy.label(lane.preemptive),
+        schedule=schedule,
+        report=report,
+        probes_used=len(schedule),
+        expired=total - captured_total,
+        runtime_seconds=runtime,
+    )

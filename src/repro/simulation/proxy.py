@@ -266,10 +266,25 @@ def run_online(profiles: ProfileSet, epoch: Epoch, budget: BudgetVector,
 
     ``engine`` selects the implementation: ``"fast"`` (default) uses the
     event-indexed :class:`~repro.simulation.engine.FastProxySimulator`,
-    ``"reference"`` the straightforward per-chronon :class:`ProxySimulator`.
-    Both produce identical results (verified by the equivalence property
-    suite); the reference engine remains the executable specification.
+    ``"reference"`` the straightforward per-chronon :class:`ProxySimulator`,
+    ``"batch"`` the columnar :func:`~repro.simulation.batch.run_block`
+    engine (single-lane block here; the harness groups whole lineups).
+    All produce identical results (verified by the equivalence property
+    suites); the reference engine remains the executable specification.
+
+    The batch engine covers the fault-free core only: configurations with
+    fault injection, retries or a circuit breaker — and policies without
+    a columnar scoring kind — fall back to the fast engine silently.
     """
+    if engine == "batch":
+        if faults is None and retry is None and breaker is None:
+            from repro.simulation.batch import BatchUnsupported, run_block
+            try:
+                return run_block(profiles, epoch,
+                                 [(policy, preemptive, budget)])[0]
+            except BatchUnsupported:
+                pass
+        engine = "fast"
     if engine == "fast":
         from repro.simulation.engine import FastProxySimulator
         simulator = FastProxySimulator(
@@ -281,5 +296,6 @@ def run_online(profiles: ProfileSet, epoch: Epoch, budget: BudgetVector,
             faults=faults, retry=retry, breaker=breaker)
     else:
         raise ValueError(
-            f"unknown engine {engine!r} (expected 'fast' or 'reference')")
+            f"unknown engine {engine!r} "
+            "(expected 'fast', 'reference' or 'batch')")
     return simulator.run()

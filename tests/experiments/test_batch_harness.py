@@ -1,0 +1,101 @@
+"""Batch-engine harness path: mega blocks, fall-backs and worker
+invariance.
+
+The harness groups sweep cells sharing a generation key into columnar
+mega blocks; this file pins down that the blocked path (serial and on a
+process pool of any size) reproduces exactly the fast engine's numbers,
+that unsupported policies fall back per (cell, policy), and that
+:func:`~repro.experiments.instances.generation_key` captures precisely
+the generative config fields.
+"""
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.harness import run_setting, sweep
+from repro.experiments.instances import (
+    InstanceCache,
+    generation_key,
+    instance_key,
+)
+
+_CONFIG = ExperimentConfig(
+    epoch_length=20, num_resources=6, num_profiles=8, intensity=4.0,
+    window=4, repetitions=3, grouping="overlap", seed=99)
+
+#: RANDOM has no columnar kind — including it exercises the per-policy
+#: fall-back inside an otherwise-blocked cell.
+_POLICIES = ("S-EDF(P)", "MRSF(P)", "RANDOM(NP)")
+
+
+def _gc_map(outcome):
+    return {label: po.gc_values for label, po in outcome.outcomes.items()}
+
+
+class TestBatchHarness:
+    def test_run_setting_batch_matches_fast(self):
+        fast = run_setting(_CONFIG, _POLICIES)
+        batch = run_setting(_CONFIG, _POLICIES, engine="batch")
+        assert _gc_map(batch) == _gc_map(fast)
+
+    def test_sweep_batch_matches_fast(self):
+        fast = sweep("s", _CONFIG, "budget", [1, 2, 3], _POLICIES)
+        batch = sweep("s", _CONFIG, "budget", [1, 2, 3], _POLICIES,
+                      engine="batch")
+        assert batch.x_values == fast.x_values
+        for fast_run, batch_run in zip(fast.runs, batch.runs):
+            assert _gc_map(batch_run) == _gc_map(fast_run)
+
+    def test_sweep_batch_includes_offline(self):
+        fast = sweep("s", _CONFIG, "budget", [1], _POLICIES,
+                     include_offline=True)
+        batch = sweep("s", _CONFIG, "budget", [1], _POLICIES,
+                      include_offline=True, engine="batch")
+        for fast_run, batch_run in zip(fast.runs, batch.runs):
+            assert _gc_map(batch_run) == _gc_map(fast_run)
+
+    def test_sweep_batch_worker_count_invariant(self):
+        """Chunking groups cells by block key; any worker count must
+        reproduce the serial blocked results bit for bit."""
+        serial = sweep("s", _CONFIG, "budget", [1, 2, 3], _POLICIES,
+                       engine="batch")
+        for workers in (2, 3):
+            pooled = sweep("s", _CONFIG, "budget", [1, 2, 3], _POLICIES,
+                           engine="batch", workers=workers)
+            assert pooled.x_values == serial.x_values
+            for serial_run, pooled_run in zip(serial.runs, pooled.runs):
+                assert _gc_map(pooled_run) == _gc_map(serial_run)
+
+    def test_sweep_non_budget_axis_blocks_per_value(self):
+        """Sweeping a generative field gives each value its own block —
+        still identical to the fast engine."""
+        fast = sweep("s", _CONFIG, "window", [3, 4], _POLICIES)
+        batch = sweep("s", _CONFIG, "window", [3, 4], _POLICIES,
+                      engine="batch")
+        for fast_run, batch_run in zip(fast.runs, batch.runs):
+            assert _gc_map(batch_run) == _gc_map(fast_run)
+
+
+class TestGenerationKey:
+    def test_budget_and_repetitions_do_not_perturb(self):
+        base = generation_key(_CONFIG, 0, "poisson")
+        assert generation_key(_CONFIG.with_(budget=7), 0,
+                              "poisson") == base
+        assert generation_key(_CONFIG.with_(repetitions=9), 0,
+                              "poisson") == base
+
+    def test_generative_fields_perturb(self):
+        base = generation_key(_CONFIG, 0, "poisson")
+        assert generation_key(_CONFIG.with_(seed=1), 0, "poisson") != base
+        assert generation_key(_CONFIG.with_(window=5), 0,
+                              "poisson") != base
+        assert generation_key(_CONFIG, 1, "poisson") != base
+
+    def test_instance_key_still_covers_budget(self):
+        assert instance_key(_CONFIG.with_(budget=7), 0, "poisson") != \
+            instance_key(_CONFIG, 0, "poisson")
+
+    def test_memory_cache_shares_across_budgets(self):
+        cache = InstanceCache(max_entries=4)
+        _trace_a, profiles_a = cache.get_or_generate(_CONFIG, 0)
+        _trace_b, profiles_b = cache.get_or_generate(
+            _CONFIG.with_(budget=7), 0)
+        assert profiles_b is profiles_a
