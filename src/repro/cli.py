@@ -130,11 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine", choices=["fast", "batch", "reference"],
-        default="fast",
-        help="simulation engine: 'fast' (default) runs one combination "
-             "at a time, 'batch' groups cells sharing generated "
-             "instances into columnar mega blocks (identical results), "
-             "'reference' is the executable specification",
+        default=None,
+        help="simulation engine: 'fast' runs one combination at a "
+             "time, 'batch' groups cells sharing generated instances "
+             "into columnar mega blocks (identical results), "
+             "'reference' is the executable specification; by default "
+             "each experiment keeps its own engine default ('fast' for "
+             "the figures, 'batch' for the fault sweeps)",
     )
     parser.add_argument(
         "--output", metavar="DIR", default=None,
@@ -275,7 +277,7 @@ def main(argv: list[str] | None = None) -> int:
         parameters = inspect.signature(runner).parameters
         if args.workers and "workers" in parameters:
             kwargs["workers"] = args.workers
-        if args.engine != "fast" and "engine" in parameters:
+        if args.engine and "engine" in parameters:
             kwargs["engine"] = args.engine
         result = runner(args.scale, **kwargs)
         _print_result(name, result, args.csv)

@@ -12,6 +12,7 @@ from repro.core.completeness import (
 )
 from repro.core.errors import (
     FaultError,
+    FaultReplayError,
     ModelError,
     ProbeFailure,
     ReproError,
@@ -40,6 +41,7 @@ __all__ = [
     "Epoch",
     "ExecutionInterval",
     "FaultError",
+    "FaultReplayError",
     "ModelError",
     "Probe",
     "Profile",

@@ -9,6 +9,7 @@ from __future__ import annotations
 __all__ = [
     "ReproError",
     "FaultError",
+    "FaultReplayError",
     "ModelError",
     "ProbeFailure",
     "ScheduleInfeasibleError",
@@ -54,6 +55,28 @@ class WorkloadError(ReproError):
 
 class FaultError(ReproError):
     """Invalid fault-injection configuration (specs, outages, traces)."""
+
+
+class FaultReplayError(FaultError):
+    """A strict trace replay was asked to decide a probe it never saw.
+
+    Raised by :class:`repro.faults.RecordedFaults` in strict mode when
+    the replayed run diverges from the recorded one: the requested
+    ``(chronon, resource, attempt)`` triple has no record in the trace.
+    Carries the triple and the trace length so the drift point is
+    diagnosable from the exception alone.
+    """
+
+    def __init__(self, resource_id: int, chronon: int, attempt: int,
+                 trace_length: int) -> None:
+        self.resource_id = resource_id
+        self.chronon = chronon
+        self.attempt = attempt
+        self.trace_length = trace_length
+        super().__init__(
+            f"no recorded fault decision for probe (chronon={chronon}, "
+            f"resource={resource_id}, attempt={attempt}); the replayed "
+            f"run diverged from the {trace_length}-record trace")
 
 
 class ProbeFailure(FaultError):

@@ -32,6 +32,7 @@ from repro.experiments.offline import (
 )
 from repro.experiments.harness import (
     OFFLINE_LABEL,
+    FaultCell,
     PolicyOutcome,
     RunOutcome,
     SweepResult,
@@ -54,6 +55,7 @@ __all__ = [
     "ExperimentConfig",
     "jain_index",
     "run_churn",
+    "FaultCell",
     "FigurePair",
     "OFFLINE_LABEL",
     "OFFLINE_SOLVER_LABELS",

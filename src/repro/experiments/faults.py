@@ -15,7 +15,16 @@ Two knobs beyond the failure rate matter and are exposed:
   what keeps a permanent outage from bleeding the whole budget.
 
 The sweep reuses the harness's :class:`RunOutcome`/:class:`SweepResult`
-containers, so the standard reporting/export pipeline renders it.
+containers, so the standard reporting/export pipeline renders it. Since
+the fault layer lowers into the columnar batch engine (see
+``docs/ALGORITHMS.md`` §14), degradation sweeps default to
+``engine="batch"``: every (rate, repetition, policy) combination becomes
+a lane of one columnar mega block — the fault seed depends only on the
+repetition, so all rates share the block's generated instances — and
+produces probe-for-probe the fast engine's results. ``engine="fast"``
+runs the combinations one at a time; lanes the batch engine cannot take
+fall back to the fast engine per (cell, policy) and are counted in
+``RunOutcome.fell_back`` / ``SweepResult.fell_back``.
 """
 
 from __future__ import annotations
@@ -24,9 +33,12 @@ from typing import Sequence
 
 from repro.experiments.config import ExperimentConfig, baseline
 from repro.experiments.harness import (
-    PolicyOutcome,
+    FaultCell,
     RunOutcome,
     SweepResult,
+    _merge_cells,
+    _run_cells_parallel,
+    _run_cells_serial,
     make_instance,
 )
 from repro.faults.breaker import CircuitBreaker, RetryConfig
@@ -52,60 +64,103 @@ FAULT_POLICY_VARIANTS: tuple[str, ...] = (
 
 DEFAULT_FAILURE_RATES: tuple[float, ...] = (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
 
+#: (failure_threshold, cooldown, backoff_factor, max_cooldown) of the
+#: degradation experiments' breaker; every policy run gets a fresh one.
+_BREAKER_PARAMS: tuple[int, int, float, int] = (3, 4, 2.0, 64)
+
 
 def _default_breaker() -> CircuitBreaker:
-    return CircuitBreaker(failure_threshold=3, cooldown=4,
-                          backoff_factor=2.0, max_cooldown=64)
+    threshold, cooldown, backoff, max_cooldown = _BREAKER_PARAMS
+    return CircuitBreaker(failure_threshold=threshold, cooldown=cooldown,
+                          backoff_factor=backoff,
+                          max_cooldown=max_cooldown)
+
+
+def _fault_cell(config: ExperimentConfig, repetition: int,
+                failure_rate: float, retry: RetryConfig | None,
+                use_breaker: bool) -> FaultCell:
+    """One repetition's fault layer: shared seed, per-run breaker."""
+    spec = FaultSpec(failure_probability=failure_rate,
+                     seed=config.seed + 7919 * repetition)
+    return FaultCell(spec=spec, retry=retry,
+                     breaker=_BREAKER_PARAMS if use_breaker else None)
+
+
+def _run_fault_cells(config: ExperimentConfig, rates: Sequence[float],
+                     policies: Sequence[str],
+                     retry: RetryConfig | None, use_breaker: bool,
+                     source: str, engine: str,
+                     workers: int | None) -> list[RunOutcome]:
+    """One RunOutcome per rate, all cells through the harness executors.
+
+    The flat cell list spans every (rate, repetition); under the batch
+    engine all cells share one block key — the fault seed folds in only
+    the repetition, so every rate faces the same generated world — and
+    the whole sweep advances as columnar mega blocks.
+    """
+    flat = [
+        (config, repetition, tuple(policies), False, source, engine,
+         "fast",
+         _fault_cell(config, repetition, rate, retry, use_breaker))
+        for rate in rates
+        for repetition in range(config.repetitions)
+    ]
+    if workers is not None and workers > 1 and len(flat) > 1:
+        cells = _run_cells_parallel(flat, workers)
+    else:
+        cells = _run_cells_serial(flat)
+    runs = []
+    cursor = 0
+    for _rate in rates:
+        span = cells[cursor:cursor + config.repetitions]
+        cursor += config.repetitions
+        runs.append(_merge_cells(config, span, policies, False))
+    return runs
 
 
 def run_fault_setting(config: ExperimentConfig, failure_rate: float,
                       policies: Sequence[str] = FAULT_POLICY_VARIANTS,
                       retry: RetryConfig | None = RetryConfig(1),
                       use_breaker: bool = True,
-                      source: str = "poisson") -> RunOutcome:
+                      source: str = "poisson",
+                      engine: str = "batch",
+                      workers: int | None = None) -> RunOutcome:
     """All policies on shared instances, each probe failing with
     ``failure_rate``.
 
     Every (policy, repetition) run gets a fresh breaker — breaker state
     is per-run — but the fault *seed* is shared per repetition, so all
-    policies face the same unreliable world.
+    policies face the same unreliable world. ``engine="batch"``
+    (default) runs every (repetition, policy) combination as one lane of
+    a columnar mega block; results are identical to ``engine="fast"``.
     """
-    gc_acc: dict[str, list[float]] = {label: [] for label in policies}
-    rt_acc: dict[str, list[float]] = {label: [] for label in policies}
-    for repetition in range(config.repetitions):
-        _trace, profiles = make_instance(config, repetition, source=source)
-        spec = FaultSpec(failure_probability=failure_rate,
-                         seed=config.seed + 7919 * repetition)
-        for label in policies:
-            policy, preemptive = parse_policy_spec(label)
-            result = run_online(
-                profiles, config.epoch, config.budget_vector, policy,
-                preemptive=preemptive, faults=spec, retry=retry,
-                breaker=_default_breaker() if use_breaker else None)
-            gc_acc[label].append(result.gc)
-            rt_acc[label].append(result.runtime_seconds)
-    outcomes = {
-        label: PolicyOutcome(label, tuple(gc_acc[label]),
-                             tuple(rt_acc[label]))
-        for label in policies
-    }
-    return RunOutcome(config=config, outcomes=outcomes)
+    return _run_fault_cells(config, (failure_rate,), policies, retry,
+                            use_breaker, source, engine, workers)[0]
 
 
 def fault_sweep(scale: str = "default",
                 rates: Sequence[float] = DEFAULT_FAILURE_RATES,
                 policies: Sequence[str] = FAULT_POLICY_VARIANTS,
                 retry: RetryConfig | None = RetryConfig(1),
-                use_breaker: bool = True) -> SweepResult:
-    """The graceful-degradation curve: GC vs. per-probe failure rate."""
-    config = baseline(scale)
-    runs = tuple(
-        run_fault_setting(config, rate, policies, retry=retry,
-                          use_breaker=use_breaker)
-        for rate in rates
-    )
+                use_breaker: bool = True,
+                engine: str = "batch",
+                workers: int | None = None,
+                config: ExperimentConfig | None = None) -> SweepResult:
+    """The graceful-degradation curve: GC vs. per-probe failure rate.
+
+    ``engine`` picks the simulation engine for every (rate, repetition,
+    policy) combination — ``"batch"`` (default) advances them as lanes
+    of shared columnar mega blocks, ``"fast"`` runs them one at a time;
+    both produce identical series. ``workers=N`` farms cells out to a
+    process pool. ``config`` overrides the baseline config of ``scale``
+    (benchmarks sweep custom sizes).
+    """
+    if config is None:
+        config = baseline(scale)
+    runs = _run_fault_cells(config, rates, policies, retry, use_breaker,
+                            "poisson", engine, workers)
     return SweepResult(name="faults", parameter="failure_rate",
-                       x_values=tuple(rates), runs=runs)
+                       x_values=tuple(rates), runs=tuple(runs))
 
 
 def breaker_ablation(scale: str = "smoke",

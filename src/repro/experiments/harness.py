@@ -30,15 +30,23 @@ from repro.experiments.instances import (
     fast_default,
     generation_key,
 )
+from repro.faults.breaker import CircuitBreaker, RetryConfig
+from repro.faults.model import FaultSpec
 from repro.offline.local_ratio import LocalRatioApproximation
 from repro.online.registry import parse_policy_spec
-from repro.simulation.batch import BatchUnsupported, batch_kind, run_block
+from repro.simulation.batch import (
+    BatchUnsupported,
+    FaultLane,
+    batch_kind,
+    run_block,
+)
 from repro.simulation.columnar import ColumnarInstance
 from repro.simulation.proxy import run_online
 from repro.simulation.result import SimulationResult
 from repro.traces.events import UpdateTrace
 
 __all__ = [
+    "FaultCell",
     "PolicyOutcome",
     "RunOutcome",
     "SweepResult",
@@ -54,6 +62,51 @@ OFFLINE_LABEL = "offline-approx"
 DEFAULT_POLICIES: tuple[str, ...] = (
     "S-EDF(NP)", "S-EDF(P)", "MRSF(P)", "M-EDF(P)",
 )
+
+
+@dataclass(frozen=True, slots=True)
+class FaultCell:
+    """The fault layer of one work cell, in picklable factory form.
+
+    Breaker state is per-run, so the cell carries the breaker's
+    *parameters* (``(failure_threshold, cooldown, backoff_factor,
+    max_cooldown)``) rather than an instance; every policy run — batch
+    lane or fast fallback — gets a fresh :class:`CircuitBreaker` from
+    :meth:`make_breaker`. The spec is per-repetition (its seed folds the
+    repetition in), so cells carry the concrete :class:`FaultSpec`.
+    """
+
+    spec: FaultSpec | None = None
+    retry: RetryConfig | None = None
+    breaker: tuple[int, int, float, int] | None = None
+
+    @property
+    def is_null(self) -> bool:
+        return (self.spec is None and self.retry is None
+                and self.breaker is None)
+
+    def make_breaker(self) -> CircuitBreaker | None:
+        """A fresh breaker with this cell's parameters (or None)."""
+        if self.breaker is None:
+            return None
+        threshold, cooldown, backoff, max_cooldown = self.breaker
+        return CircuitBreaker(failure_threshold=threshold,
+                              cooldown=cooldown,
+                              backoff_factor=backoff,
+                              max_cooldown=max_cooldown)
+
+    def lane(self) -> FaultLane | None:
+        """This cell's fault layer as one batch lane (fresh breaker)."""
+        if self.is_null:
+            return None
+        return FaultLane(self.spec, self.retry, self.make_breaker())
+
+    def run_kwargs(self) -> dict:
+        """Fault kwargs for one ``run_online`` call (fresh breaker)."""
+        if self.is_null:
+            return {}
+        return dict(faults=self.spec, retry=self.retry,
+                    breaker=self.make_breaker())
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,10 +134,17 @@ class PolicyOutcome:
 
 @dataclass(frozen=True, slots=True)
 class RunOutcome:
-    """All policy outcomes for one parameter setting."""
+    """All policy outcomes for one parameter setting.
+
+    ``fell_back`` counts the (repetition, policy) runs that the batch
+    engine handed to the fast engine (policies without a columnar kind,
+    or blocks the columnar form cannot encode); it is 0 for other
+    engines.
+    """
 
     config: ExperimentConfig
     outcomes: dict[str, PolicyOutcome]
+    fell_back: int = 0
 
     def mean_gc(self, label: str) -> float:
         """Mean gained completeness of one policy."""
@@ -119,6 +179,11 @@ class SweepResult:
     def labels(self) -> list[str]:
         """Policy labels present in the sweep (empty when no runs)."""
         return self.runs[0].labels() if self.runs else []
+
+    @property
+    def fell_back(self) -> int:
+        """Total fast-engine fallbacks across the sweep's runs."""
+        return sum(run.fell_back for run in self.runs)
 
 
 def make_instance(config: ExperimentConfig, repetition: int,
@@ -158,7 +223,8 @@ def make_instance(config: ExperimentConfig, repetition: int,
 def _run_cell(config: ExperimentConfig, repetition: int,
               policies: Sequence[str], include_offline: bool,
               source: str, engine: str,
-              offline_engine: str = "fast"
+              offline_engine: str = "fast",
+              fault_cfg: FaultCell | None = None
               ) -> dict[str, tuple[float, float]]:
     """One (setting, repetition) work cell: every policy on one instance.
 
@@ -171,8 +237,10 @@ def _run_cell(config: ExperimentConfig, repetition: int,
     cell: dict[str, tuple[float, float]] = {}
     for label in policies:
         policy, preemptive = parse_policy_spec(label)
+        kwargs = fault_cfg.run_kwargs() if fault_cfg is not None else {}
         result = run_online(profiles, config.epoch, config.budget_vector,
-                            policy, preemptive=preemptive, engine=engine)
+                            policy, preemptive=preemptive, engine=engine,
+                            **kwargs)
         cell[label] = (result.gc, result.runtime_seconds)
     if include_offline:
         result = LocalRatioApproximation(engine=offline_engine).solve(
@@ -180,6 +248,10 @@ def _run_cell(config: ExperimentConfig, repetition: int,
         cell[OFFLINE_LABEL] = (result.gc, result.runtime_seconds)
     return cell
 
+
+#: Cell-dict key under which the blocked path counts its fast-engine
+#: fallbacks; :func:`_merge_cells` pops it before reading policy labels.
+_FELL_BACK = "__fell_back__"
 
 #: Lane cap per columnar pass: bounds the (lanes x states) working-set
 #: of one mega block; oversized blocks run as chunks over one shared
@@ -240,6 +312,7 @@ def _run_one_block(cell_args: Sequence[tuple], indices: Sequence[int],
     for at in indices:
         config, repetition, policies, _offline, source = \
             cell_args[at][:5]
+        fault_cfg = cell_args[at][7] if len(cell_args[at]) > 7 else None
         gkey = generation_key(config, repetition, source)
         inst = inst_index.get(gkey)
         if inst is None:
@@ -254,8 +327,11 @@ def _run_one_block(cell_args: Sequence[tuple], indices: Sequence[int],
             if batch_kind(policy) is None:
                 fallback.append((at, label))
                 continue
+            # A fresh FaultLane (so a fresh breaker) per lane: breaker
+            # state is per-run, and the plane rejects shared breakers.
+            fault = fault_cfg.lane() if fault_cfg is not None else None
             lane_specs.append((policy, preemptive, config.budget_vector,
-                               inst))
+                               inst, fault))
             lane_home.append((at, label))
 
     if lane_specs:
@@ -286,16 +362,21 @@ def _run_one_block(cell_args: Sequence[tuple], indices: Sequence[int],
                 cells[at][label] = (result.gc, result.runtime_seconds)
 
     for at, label in fallback:
-        config = cell_args[at][0]
+        args = cell_args[at]
+        config = args[0]
+        fault_cfg = args[7] if len(args) > 7 else None
+        kwargs = fault_cfg.run_kwargs() if fault_cfg is not None else {}
         policy, preemptive = parse_policy_spec(label)
         result = run_online(profile_sets[cell_insts[at]], epoch,
                             config.budget_vector, policy,
-                            preemptive=preemptive, engine="fast")
+                            preemptive=preemptive, engine="fast",
+                            **kwargs)
         cells[at][label] = (result.gc, result.runtime_seconds)
+        cells[at][_FELL_BACK] = cells[at].get(_FELL_BACK, 0) + 1
 
     for at in indices:
         config, _repetition, _policies, include_offline, _source, \
-            _engine, offline_engine = cell_args[at]
+            _engine, offline_engine = cell_args[at][:7]
         if include_offline:
             result = LocalRatioApproximation(engine=offline_engine).solve(
                 profile_sets[cell_insts[at]], epoch, config.budget_vector)
@@ -375,7 +456,9 @@ def _merge_cells(config: ExperimentConfig,
     labels = list(policies) + ([OFFLINE_LABEL] if include_offline else [])
     gc_acc: dict[str, list[float]] = {label: [] for label in labels}
     rt_acc: dict[str, list[float]] = {label: [] for label in labels}
+    fell_back = 0
     for cell in cells:
+        fell_back += cell.pop(_FELL_BACK, 0)
         for label in labels:
             gc, runtime = cell[label]
             gc_acc[label].append(gc)
@@ -385,7 +468,8 @@ def _merge_cells(config: ExperimentConfig,
                              tuple(rt_acc[label]))
         for label in labels
     }
-    return RunOutcome(config=config, outcomes=outcomes)
+    return RunOutcome(config=config, outcomes=outcomes,
+                      fell_back=fell_back)
 
 
 def run_setting(config: ExperimentConfig,

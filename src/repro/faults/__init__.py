@@ -16,6 +16,7 @@ part of the model:
   simulator and the live proxy, so both account for faults identically.
 """
 
+from repro.core.errors import FaultReplayError
 from repro.faults.breaker import BackoffPolicy, CircuitBreaker, RetryConfig
 from repro.faults.engine import ProbeRound, execute_probes
 from repro.faults.model import (
@@ -44,6 +45,7 @@ __all__ = [
     "FaultDecision",
     "FaultInjector",
     "FaultRecord",
+    "FaultReplayError",
     "FaultSpec",
     "FaultTrace",
     "Outage",

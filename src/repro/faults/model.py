@@ -22,7 +22,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Mapping
 
-from repro.core.errors import FaultError
+from repro.core.errors import FaultError, FaultReplayError
 from repro.core.timeline import Chronon
 from repro.runtime.server import (
     PROBE_FAILED,
@@ -121,6 +121,20 @@ class FaultSpec:
         if (self.max_probes_per_chronon is not None
                 and self.max_probes_per_chronon < 0):
             raise FaultError("max_probes_per_chronon must be >= 0")
+        # Overlapping windows for one resource would make the effective
+        # downtime depend on tuple order (``covers`` stops at the first
+        # hit) — reject them outright so a spec means one thing.
+        by_resource: dict[int, list[Outage]] = {}
+        for outage in self.outages:
+            by_resource.setdefault(outage.resource_id, []).append(outage)
+        for windows in by_resource.values():
+            windows.sort(key=lambda o: o.start)
+            for earlier, later in zip(windows, windows[1:]):
+                if earlier.last is None or later.start <= earlier.last:
+                    raise FaultError(
+                        f"overlapping outage windows for resource "
+                        f"{earlier.resource_id}: {earlier} overlaps "
+                        f"{later}")
 
     @property
     def is_null(self) -> bool:
@@ -198,9 +212,15 @@ class FaultTrace:
         return [record for record in self._records
                 if record.status != PROBE_OK or record.stale]
 
-    def replay(self) -> "RecordedFaults":
-        """A decision source reproducing this trace exactly."""
-        return RecordedFaults(self)
+    def replay(self, strict: bool = False) -> "RecordedFaults":
+        """A decision source reproducing this trace exactly.
+
+        ``strict=True`` makes divergence loud: a probe the trace never
+        recorded raises
+        :class:`~repro.core.errors.FaultReplayError` instead of
+        defaulting to ok.
+        """
+        return RecordedFaults(self, strict=strict)
 
 
 class FaultInjector:
@@ -276,12 +296,17 @@ class FaultInjector:
 class RecordedFaults:
     """Replays a :class:`FaultTrace`: same probes in, same faults out.
 
-    Attempts not present in the trace (e.g. the run diverged) default to
-    ok, which keeps replay usable as a best-effort diagnostic tool.
+    By default, attempts not present in the trace (e.g. the run
+    diverged) default to ok, which keeps replay usable as a best-effort
+    diagnostic tool. With ``strict=True`` an off-trace probe raises
+    :class:`~repro.core.errors.FaultReplayError` naming the
+    ``(chronon, resource, attempt)`` triple and the trace length, so
+    replay drift is diagnosable instead of silently absorbed.
     """
 
-    def __init__(self, trace: FaultTrace) -> None:
+    def __init__(self, trace: FaultTrace, strict: bool = False) -> None:
         self.trace = trace
+        self.strict = strict
         self._by_key: dict[tuple[Chronon, int, int], FaultDecision] = {
             record.key: record.decision() for record in trace
         }
@@ -291,5 +316,10 @@ class RecordedFaults:
 
     def decide(self, resource_id: int, chronon: Chronon,
                attempt: int = 0) -> FaultDecision:
-        return self._by_key.get((chronon, resource_id, attempt),
-                                OK_DECISION)
+        decision = self._by_key.get((chronon, resource_id, attempt))
+        if decision is None:
+            if self.strict:
+                raise FaultReplayError(resource_id, chronon, attempt,
+                                       len(self.trace))
+            return OK_DECISION
+        return decision

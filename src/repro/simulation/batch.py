@@ -25,17 +25,34 @@ instance's per-chronon activity CSR (see
 * captures, budget decrements and the M-EDF sum/started aggregates are
   scatter-adds.
 
+Faulty lanes ride the same pass (see :class:`FaultLane`): the
+deterministic fault layer is lowered into lane-major columns too.
+Because every :class:`~repro.faults.model.FaultInjector` draw is keyed
+on ``(seed, channel, resource, chronon, attempt)`` — independent of
+probe order — the attempt-0 draws of a whole block are precomputable
+per-group columns (:meth:`ColumnarInstance.fault_draw_column`), shared
+by every lane with the same spec seed. Outage windows and rate limits
+are boolean/positional column ops, circuit-breaker state is a
+``(lanes, resources)`` matrix applied as an ``INF_KEY`` mask before
+selection, and the sparse residue vectorization would reorder — retry
+attempts, whose draws and breaker trips happen in probe order — is
+replayed per lane in exact decision order. The result is bit-for-bit
+the fast engine's RNG stream, probe for probe (see
+``tests/properties/test_prop_batch_faults.py``).
+
 The engine is **schedule-identical** to
 :class:`~repro.simulation.engine.FastProxySimulator` for every supported
 policy (see ``tests/properties/test_prop_batch.py``): probe-for-probe,
-report-for-report. Unsupported configurations — fault injection,
-policies outside the known set, instances whose packed keys overflow —
-raise :class:`~repro.simulation.columnar.BatchUnsupported`; callers fall
-back to the fast engine.
+report-for-report. Unsupported configurations — replayed/duck-typed
+fault sources, subclassed retry/breaker components, policies outside
+the known set, instances whose packed keys overflow — raise
+:class:`~repro.simulation.columnar.BatchUnsupported`; callers fall back
+to the fast engine.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
 from typing import Sequence
@@ -47,7 +64,10 @@ from repro.core.completeness import CompletenessReport
 from repro.core.profile import ProfileSet
 from repro.core.schedule import Schedule
 from repro.core.timeline import Epoch
+from repro.faults.breaker import CircuitBreaker, RetryConfig, _ResourceState
+from repro.faults.model import FaultInjector, FaultRecord, FaultSpec
 from repro.online.base import EI_LEVEL, Policy
+from repro.runtime.server import PROBE_FAILED, PROBE_OK, PROBE_THROTTLED
 from repro.online.baselines import (
     CoveragePolicy,
     FCFSPolicy,
@@ -65,7 +85,7 @@ from repro.simulation.columnar import (
 )
 from repro.simulation.result import SimulationResult
 
-__all__ = ["BatchUnsupported", "batch_kind", "run_block"]
+__all__ = ["BatchUnsupported", "FaultLane", "batch_kind", "run_block"]
 
 #: Supported policy types -> static-key kind. Exact type match only:
 #: subclasses may override scoring in ways the columnar keys don't model.
@@ -91,6 +111,24 @@ def batch_kind(policy: Policy) -> str | None:
 
 
 @dataclass(frozen=True)
+class FaultLane:
+    """The fault layer of one lane — ``run_online``'s fault arguments.
+
+    ``faults`` is a :class:`~repro.faults.model.FaultSpec` or a
+    :class:`~repro.faults.model.FaultInjector` (a *recording* injector
+    gets its trace filled exactly as the fast engine would fill it).
+    Replayed or duck-typed decision sources, subclassed retry/breaker
+    components, breakers carrying prior state, and breaker or recording
+    injector objects shared across lanes cannot be lowered and raise
+    :class:`BatchUnsupported` — callers fall back to the fast engine.
+    """
+
+    faults: object | None = None
+    retry: RetryConfig | None = None
+    breaker: CircuitBreaker | None = None
+
+
+@dataclass(frozen=True)
 class _Lane:
     policy: Policy
     preemptive: bool
@@ -98,12 +136,87 @@ class _Lane:
     inst: int
     kind: str
     sees_doom: bool
+    spec: FaultSpec | None = None
+    injector: FaultInjector | None = None
+    max_retries: int = 0
+    breaker: CircuitBreaker | None = None
+
+    @property
+    def fault_active(self) -> bool:
+        # A null spec with no recording still behaves exactly like a
+        # reliable lane; a recording injector always needs the plane so
+        # its trace gets every (all-ok) decision.
+        return self.injector is not None or (
+            self.spec is not None and not self.spec.is_null)
+
+
+def _lower_fault(fault: object | None, seen: set[int]):
+    """Validate one lane's fault layer; -> (spec, injector, retries, brk).
+
+    ``seen`` tracks object identities of stateful components (recording
+    injectors, breakers): sharing one across lanes couples the lanes
+    sequentially, which a lane-major pass cannot reproduce.
+    """
+    if fault is None:
+        return None, None, 0, None
+    if not isinstance(fault, FaultLane):
+        raise BatchUnsupported(
+            f"lane fault layer must be a FaultLane, got "
+            f"{type(fault).__name__}")
+    spec: FaultSpec | None = None
+    injector: FaultInjector | None = None
+    faults = fault.faults
+    if faults is not None:
+        if type(faults) is FaultInjector:
+            spec = faults.spec
+            if faults._record:
+                if id(faults) in seen:
+                    raise BatchUnsupported(
+                        "a recording FaultInjector shared across lanes "
+                        "interleaves their traces order-dependently")
+                seen.add(id(faults))
+                injector = faults
+        elif type(faults) is FaultSpec:
+            spec = faults
+        else:
+            # RecordedFaults (and arbitrary duck-typed sources) answer
+            # from history, not from the keyed draw design the columns
+            # precompute — only the fast engine can serve them.
+            raise BatchUnsupported(
+                f"fault source {type(faults).__name__} cannot be "
+                "lowered to draw columns")
+    retry = fault.retry
+    if retry is not None and type(retry) is not RetryConfig:
+        raise BatchUnsupported(
+            f"retry config {type(retry).__name__} is not a plain "
+            "RetryConfig")
+    breaker = fault.breaker
+    if breaker is not None:
+        if type(breaker) is not CircuitBreaker:
+            raise BatchUnsupported(
+                f"breaker {type(breaker).__name__} is not a plain "
+                "CircuitBreaker")
+        if breaker._states or breaker.ever_quarantined:
+            raise BatchUnsupported(
+                "breaker carries prior state; the lowered plane starts "
+                "from a clean matrix")
+        if id(breaker) in seen:
+            raise BatchUnsupported(
+                "a CircuitBreaker shared across lanes couples them "
+                "sequentially")
+        seen.add(id(breaker))
+    max_retries = retry.max_retries if retry is not None else 0
+    return spec, injector, max_retries, breaker
 
 
 def _make_lanes(lanes: Sequence[tuple], n_inst: int) -> list[_Lane]:
     out: list[_Lane] = []
+    seen: set[int] = set()
     for spec in lanes:
-        if len(spec) == 4:
+        fault = None
+        if len(spec) == 5:
+            policy, preemptive, budget, inst, fault = spec
+        elif len(spec) == 4:
             policy, preemptive, budget, inst = spec
         else:
             policy, preemptive, budget = spec
@@ -116,8 +229,10 @@ def _make_lanes(lanes: Sequence[tuple], n_inst: int) -> list[_Lane]:
         if not 0 <= inst < n_inst:
             raise BatchUnsupported(
                 f"lane instance {inst} out of range for {n_inst} instances")
+        fspec, injector, max_retries, breaker = _lower_fault(fault, seen)
         out.append(_Lane(policy, preemptive, budget, inst, kind,
-                         policy.level != EI_LEVEL))
+                         policy.level != EI_LEVEL, fspec, injector,
+                         max_retries, breaker))
     return out
 
 
@@ -133,15 +248,20 @@ def run_block(
     ``profiles`` is one :class:`ProfileSet` or a sequence of them (a mega
     block over several same-epoch instances, e.g. a sweep cell's
     repetitions). Each lane is ``(policy, preemptive, budget)`` — with an
-    optional fourth element naming the lane's instance index — and gets
+    optional fourth element naming the lane's instance index and an
+    optional fifth carrying a :class:`FaultLane` (or None) — and gets
     one :class:`SimulationResult`, in lane order, identical to what
     ``FastProxySimulator(profiles[inst], epoch, budget, policy,
-    preemptive).run()`` would produce. ``runtime_seconds`` is the block
-    wall time split evenly across lanes (per-lane attribution is
-    meaningless inside a shared pass).
+    preemptive).run()`` (with the lane's faults/retry/breaker) would
+    produce — schedule, report, fault stats, breaker end state, and for
+    recording injectors the :class:`~repro.faults.model.FaultTrace`,
+    probe for probe. ``runtime_seconds`` is the block wall time split
+    evenly across lanes (per-lane attribution is meaningless inside a
+    shared pass).
 
     Raises :class:`BatchUnsupported` for policies without a columnar
-    kind or instances whose packed keys overflow.
+    kind, instances whose packed keys overflow, or fault layers the
+    plane cannot lower (see :class:`FaultLane`).
     """
     started = time.perf_counter()
     if columnar is not None:
@@ -155,8 +275,338 @@ def run_block(
     probes = _advance(col, lane_objs) if L else []
     elapsed = time.perf_counter() - started
     per_lane = elapsed / L if L else 0.0
-    return [_finalize(col, lane, lane_sched, lane_caps, per_lane)
-            for lane, lane_sched, lane_caps in probes]
+    return [_finalize(col, lane, lane_sched, lane_caps, per_lane, stats)
+            for lane, lane_sched, lane_caps, stats in probes]
+
+
+# ----------------------------------------------------------------------
+# The lowered fault plane
+# ----------------------------------------------------------------------
+
+class _FaultPlane:
+    """Lane-major lowering of the fault layer for one block.
+
+    Attempt-0 decisions vectorize completely: the keyed draws are
+    precomputed per-group columns (one row per distinct spec seed,
+    row 0 a ``2.0`` sentinel no probability can beat), outages are a
+    boolean column, and the rate limit is positional — the fast engine's
+    per-chronon request counter equals ``decision position + 1`` because
+    :meth:`FaultInjector.decide` counts *every* call, outage-covered or
+    throttled included. Breaker state lives in ``(lane, resource)``
+    matrices; attempt-0 successes/failures update it with one fancy
+    assignment per chronon (each lane probes a resource at most once per
+    chronon, so targets never collide), and only the rare tripping
+    entries drop to Python for the bit-exact ``_cooldown_for`` ceil.
+
+    Retries are the sparse residue vectorization would reorder — their
+    draws, budget debits and breaker trips happen in probe order — so
+    they replay per lane over that lane's failed decisions in decision
+    order, exactly :func:`repro.faults.engine.execute_probes`, with a
+    memo de-duplicating draws across lanes sharing a spec seed.
+    """
+
+    def __init__(self, col: ColumnarInstance,
+                 lane_objs: list[_Lane]) -> None:
+        self.lanes = lane_objs
+        L = self.L = len(lane_objs)
+        self.rid_stride = stride = col.rid_stride
+        grp_T, grp_rid_local, _grp_inst = col.fault_layout()
+        self.grp_rid_local = grp_rid_local
+        n_groups = grp_T.size
+
+        self.rate_mat = np.zeros((L, stride))
+        self.t_prob = np.zeros(L)
+        self.s_prob = np.zeros(L)
+        self.maxp = np.full(L, np.iinfo(np.int64).max, dtype=np.int64)
+        self.max_retries = [ln.max_retries for ln in lane_objs]
+        self.injectors = [ln.injector for ln in lane_objs]
+        self.specs = [ln.spec for ln in lane_objs]
+        self.any_rec = any(inj is not None for inj in self.injectors)
+        for i, ln in enumerate(lane_objs):
+            spec = ln.spec
+            if spec is None:
+                continue
+            self.rate_mat[i, :] = spec.failure_probability
+            for rid, rate in spec.per_resource.items():
+                if 0 <= rid < stride:
+                    self.rate_mat[i, rid] = rate
+            self.t_prob[i] = spec.timeout_probability
+            self.s_prob[i] = spec.stale_probability
+            if spec.max_probes_per_chronon is not None:
+                self.maxp[i] = spec.max_probes_per_chronon
+
+        # Draw columns must cover every instance any lane of the seed
+        # touches; lanes of other instances read the 2.0 sentinel, but
+        # their picks never land outside their own instance anyway.
+        insts_by_seed: dict[int, set[int]] = {}
+        for ln in lane_objs:
+            if ln.spec is not None:
+                insts_by_seed.setdefault(ln.spec.seed, set()).add(ln.inst)
+
+        def build(channel: str, need) -> tuple[np.ndarray, np.ndarray]:
+            rows = [np.full(n_groups, 2.0)]
+            row_of = np.zeros(L, dtype=np.int64)
+            by_seed: dict[int, int] = {}
+            for i, ln in enumerate(lane_objs):
+                spec = ln.spec
+                if spec is None or not need(spec, i):
+                    continue
+                row = by_seed.get(spec.seed)
+                if row is None:
+                    row = len(rows)
+                    insts = frozenset(insts_by_seed[spec.seed])
+                    rows.append(col.fault_draw_column(
+                        spec.seed, channel, insts))
+                    by_seed[spec.seed] = row
+                row_of[i] = row
+            return np.vstack(rows), row_of
+
+        self.DROP, self.drop_rows = build(
+            "drop", lambda s, i: bool(self.rate_mat[i].any()))
+        self.TMO, self.tmo_rows = build(
+            "timeout", lambda s, i: s.timeout_probability > 0.0)
+        # Stale flips no outcome, only the trace flag — recording lanes
+        # are the only consumers of the stale column.
+        self.STL, self.stl_rows = build(
+            "stale", lambda s, i: (s.stale_probability > 0.0
+                                   and self.injectors[i] is not None))
+
+        out_rows = np.zeros(L, dtype=np.int64)
+        rows = [np.zeros(n_groups, dtype=bool)]
+        by_cfg: dict[tuple, int] = {}
+        for i, ln in enumerate(lane_objs):
+            spec = ln.spec
+            if spec is None or not spec.outages:
+                continue
+            row = by_cfg.get(spec.outages)
+            if row is None:
+                row = len(rows)
+                rows.append(col.outage_column(spec.outages))
+                by_cfg[spec.outages] = row
+            out_rows[i] = row
+        self.OUT = np.vstack(rows)
+        self.out_rows = out_rows
+
+        rid_space = stride * col.n_inst
+        self.has_brk = np.array([ln.breaker is not None
+                                 for ln in lane_objs])
+        self.any_brk = bool(self.has_brk.any())
+        self.thresh = np.full(L, np.iinfo(np.int64).max, dtype=np.int64)
+        for i, ln in enumerate(lane_objs):
+            if ln.breaker is not None:
+                self.thresh[i] = ln.breaker.failure_threshold
+        self.consec = np.zeros((L, rid_space), dtype=np.int64)
+        self.open_until = np.full((L, rid_space), -1, dtype=np.int64)
+        self.trips = np.zeros((L, rid_space), dtype=np.int64)
+        self.ever = np.zeros((L, rid_space), dtype=bool)
+        self.blocking = False  # sticky: any breaker ever tripped
+
+        self.failures = np.zeros(L, dtype=np.int64)
+        self.retries = np.zeros(L, dtype=np.int64)
+        self._memo: dict[tuple, float] = {}
+
+    def blocked(self, grids: np.ndarray, T: int) -> np.ndarray | None:
+        """(lanes, groups) quarantine mask for this chronon, or None."""
+        if not self.blocking:
+            return None
+        return self.open_until[:, grids] >= T
+
+    def _draw(self, seed: int, channel: str, rid: int, T: int,
+              attempt: int) -> float:
+        key = (seed, channel, rid, T, attempt)
+        val = self._memo.get(key)
+        if val is None:
+            val = random.Random(
+                f"{seed}:{channel}:{rid}:{T}:{attempt}").random()
+            self._memo[key] = val
+        return val
+
+    def _trip(self, ls: np.ndarray, rs: np.ndarray, T: int) -> None:
+        self.blocking = True
+        for i, r in zip(ls.tolist(), rs.tolist()):
+            brk = self.lanes[i].breaker
+            self.open_until[i, r] = T + brk._cooldown_for(
+                int(self.trips[i, r]))
+            self.trips[i, r] += 1
+            self.ever[i, r] = True
+
+    def execute(self, T: int, glo: int, grids: np.ndarray,
+                lanes_pk: np.ndarray, g_pk: np.ndarray,
+                pos_pk: np.ndarray, k_arr: np.ndarray):
+        """Decide every pick of this chronon; -> (cap_lanes, cap_gs, fail).
+
+        ``lanes_pk``/``g_pk``/``pos_pk`` are the chronon's selections as
+        (lane, local group, decision position) columns — per lane in
+        decision order. The returned capture columns are the ok picks
+        plus retry recoveries; ``fail`` flags the attempt-0 failures
+        (recovered or not) for the caller's commitment hook.
+        """
+        gg = glo + g_pk
+        rid_glob = grids[g_pk]
+        rid_loc = self.grp_rid_local[gg]
+        out = self.OUT[self.out_rows[lanes_pk], gg]
+        thr = ~out & (pos_pk + 1 > self.maxp[lanes_pk])
+        fail = out | thr
+        live = ~fail
+        drop = live & (self.DROP[self.drop_rows[lanes_pk], gg]
+                       < self.rate_mat[lanes_pk, rid_loc])
+        fail |= drop
+        live &= ~drop
+        tmo = live & (self.TMO[self.tmo_rows[lanes_pk], gg]
+                      < self.t_prob[lanes_pk])
+        fail |= tmo
+        ok = ~fail
+
+        if self.any_brk:
+            hb = self.has_brk[lanes_pk]
+            s_sel = ok & hb
+            if s_sel.any():
+                ls, rs = lanes_pk[s_sel], rid_glob[s_sel]
+                # record_success pops the whole resource state.
+                self.consec[ls, rs] = 0
+                self.trips[ls, rs] = 0
+                self.open_until[ls, rs] = -1
+            f_sel = fail & hb
+            if f_sel.any():
+                lf, rf = lanes_pk[f_sel], rid_glob[f_sel]
+                newc = self.consec[lf, rf] + 1
+                self.consec[lf, rf] = newc
+                trip = newc >= self.thresh[lf]
+                if trip.any():
+                    self._trip(lf[trip], rf[trip], T)
+
+        if self.any_rec:
+            stl = ok & (self.STL[self.stl_rows[lanes_pk], gg]
+                        < self.s_prob[lanes_pk])
+            for i, inj in enumerate(self.injectors):
+                if inj is None:
+                    continue
+                for j in np.nonzero(lanes_pk == i)[0].tolist():
+                    if out[j]:
+                        st, flt, sl = PROBE_FAILED, "outage", False
+                    elif thr[j]:
+                        st, flt, sl = PROBE_THROTTLED, "rate-limit", False
+                    elif drop[j]:
+                        st, flt, sl = PROBE_FAILED, "drop", False
+                    elif tmo[j]:
+                        st, flt, sl = PROBE_FAILED, "timeout", False
+                    elif stl[j]:
+                        st, flt, sl = PROBE_OK, "stale", True
+                    else:
+                        st, flt, sl = PROBE_OK, None, False
+                    inj.trace.append(FaultRecord(
+                        chronon=T, resource_id=int(rid_loc[j]),
+                        attempt=0, status=st, fault=flt, stale=sl))
+
+        self.failures += np.bincount(lanes_pk[fail], minlength=self.L)
+        extra_l: list[int] = []
+        extra_g: list[int] = []
+        if fail.any():
+            n_dec = np.bincount(lanes_pk, minlength=self.L)
+            for i in np.unique(lanes_pk[fail]).tolist():
+                mr = self.max_retries[i]
+                if mr == 0:
+                    continue
+                rec = self._retry_lane(
+                    i, T, lanes_pk, fail, rid_glob, rid_loc, out,
+                    int(k_arr[i]) - int(n_dec[i]), int(n_dec[i]), mr)
+                for j in rec:
+                    extra_l.append(i)
+                    extra_g.append(int(g_pk[j]))
+
+        ok_idx = np.nonzero(ok)[0]
+        cap_l = lanes_pk[ok_idx]
+        cap_g = g_pk[ok_idx]
+        if extra_l:
+            cap_l = np.concatenate(
+                (cap_l, np.asarray(extra_l, dtype=np.int64)))
+            cap_g = np.concatenate(
+                (cap_g, np.asarray(extra_g, dtype=np.int64)))
+        return cap_l, cap_g, fail
+
+    def _retry_lane(self, i: int, T: int, lanes_pk, fail, rid_glob,
+                    rid_loc, out, budget_left: int, counter: int,
+                    mr: int) -> list[int]:
+        """Replay lane i's retries in decision order; -> recovered picks."""
+        spec = self.specs[i]
+        brk = self.lanes[i].breaker
+        inj = self.injectors[i]
+        recovered: list[int] = []
+        for j in np.nonzero((lanes_pk == i) & fail)[0].tolist():
+            rg = int(rid_glob[j])
+            rl = int(rid_loc[j])
+            down = bool(out[j])
+            for a in range(1, mr + 1):
+                if budget_left <= 0:
+                    break
+                if brk is not None and self.open_until[i, rg] >= T:
+                    break
+                budget_left -= 1
+                counter += 1
+                self.retries[i] += 1
+                st, flt, sl = PROBE_OK, None, False
+                if down:
+                    st, flt = PROBE_FAILED, "outage"
+                elif (spec.max_probes_per_chronon is not None
+                        and counter > spec.max_probes_per_chronon):
+                    st, flt = PROBE_THROTTLED, "rate-limit"
+                else:
+                    rate = spec.failure_rate_for(rl)
+                    if rate > 0.0 and self._draw(
+                            spec.seed, "drop", rl, T, a) < rate:
+                        st, flt = PROBE_FAILED, "drop"
+                    elif (spec.timeout_probability > 0.0
+                            and self._draw(spec.seed, "timeout", rl, T, a)
+                            < spec.timeout_probability):
+                        st, flt = PROBE_FAILED, "timeout"
+                    elif (spec.stale_probability > 0.0
+                            and self._draw(spec.seed, "stale", rl, T, a)
+                            < spec.stale_probability):
+                        flt, sl = "stale", True
+                if inj is not None:
+                    inj.trace.append(FaultRecord(
+                        chronon=T, resource_id=rl, attempt=a,
+                        status=st, fault=flt, stale=sl))
+                if st == PROBE_OK:
+                    if brk is not None:
+                        self.consec[i, rg] = 0
+                        self.trips[i, rg] = 0
+                        self.open_until[i, rg] = -1
+                    recovered.append(j)
+                    break
+                self.failures[i] += 1
+                if brk is not None:
+                    c = int(self.consec[i, rg]) + 1
+                    self.consec[i, rg] = c
+                    if c >= brk.failure_threshold:
+                        self.open_until[i, rg] = T + brk._cooldown_for(
+                            int(self.trips[i, rg]))
+                        self.trips[i, rg] += 1
+                        self.ever[i, rg] = True
+                        self.blocking = True
+        return recovered
+
+    def finish(self) -> None:
+        """Push the state matrices back into the lane breaker objects."""
+        for i, ln in enumerate(self.lanes):
+            brk = ln.breaker
+            if brk is None:
+                continue
+            off = ln.inst * self.rid_stride
+            for r in np.nonzero(self.ever[i])[0].tolist():
+                brk.ever_quarantined.add(r - off)
+            # A resource keeps a _ResourceState exactly while its last
+            # event was a failure (success pops it).
+            for r in np.nonzero(self.consec[i] > 0)[0].tolist():
+                state = _ResourceState()
+                state.consecutive_failures = int(self.consec[i, r])
+                state.open_until = int(self.open_until[i, r])
+                state.trips = int(self.trips[i, r])
+                brk._states[r - off] = state
+
+    def lane_stats(self) -> list[tuple[int, int, int]]:
+        return [(int(self.failures[i]), int(self.retries[i]),
+                 int(self.ever[i].sum())) for i in range(self.L)]
 
 
 # ----------------------------------------------------------------------
@@ -184,6 +634,13 @@ def _advance(col: ColumnarInstance, lane_objs: list[_Lane]):
 
     np_rows = np.array([i for i, ln in enumerate(lane_objs)
                         if not ln.preemptive], dtype=np.int64)
+    plane = _FaultPlane(col, lane_objs) \
+        if any(ln.fault_active for ln in lane_objs) else None
+    # Under faults a failed probe commits its selected t-interval without
+    # capturing anything, so commitment stops being a view of cap_count
+    # and needs its own matrix (only non-preemptive pools read it).
+    committed = np.zeros((L, S), dtype=bool) \
+        if plane is not None and np_rows.size else None
     doom_rows = np.array([i for i, ln in enumerate(lane_objs)
                           if ln.sees_doom], dtype=np.int64)
     kind_rows: dict[str, np.ndarray] = {}
@@ -327,7 +784,10 @@ def _advance(col: ColumnarInstance, lane_objs: list[_Lane]):
         # Phase 1 pools: preemptive lanes see every candidate;
         # non-preemptive lanes only candidates of committed states.
         if np_rows.size:
-            comm_np = cap_count[np_rows[:, None], ps[None, :]] > 0
+            if committed is None:
+                comm_np = cap_count[np_rows[:, None], ps[None, :]] > 0
+            else:
+                comm_np = committed[np_rows[:, None], ps[None, :]]
             pool = cand.copy()
             pool[np_rows] &= comm_np
         else:
@@ -337,6 +797,12 @@ def _advance(col: ColumnarInstance, lane_objs: list[_Lane]):
         best = np.minimum.reduceat(masked, gs_local, axis=1)
         pool_n = np.add.reduceat(pool, gs_local, axis=1).astype(np.int64)
         res_key = resource_key(best, pool_n, grids)
+        # Quarantined resources drop out of selection *after* pool sizes
+        # are packed — the fast engine filters its cached pool the same
+        # way, leaving the -len(pool) key component untouched.
+        blocked = plane.blocked(grids, T) if plane is not None else None
+        if blocked is not None:
+            res_key[blocked] = INF_KEY
 
         # Each lane takes its k_l smallest rank keys; INF_KEY (empty
         # pool) sorts last, so the first k_l valid slots of the sorted
@@ -358,6 +824,11 @@ def _advance(col: ColumnarInstance, lane_objs: list[_Lane]):
         gids = order[rr, cc]
         picks[rr, gids] = True
         pr_rows, pr_gs = rr, gids
+        # Valid picks are a contiguous prefix of each lane's sorted
+        # order, so cc IS the lane's decision position — which the fault
+        # plane needs for the positional rate limit.
+        pr_pos = cc
+        n1 = rr.size
 
         # Phase 2: non-preemptive lanes spend leftover budget on fresh
         # (uncommitted) states, excluding already-probed resources.
@@ -374,6 +845,8 @@ def _advance(col: ColumnarInstance, lane_objs: list[_Lane]):
             best2 = np.minimum.reduceat(masked2, gs_local, axis=1)
             n2 = np.add.reduceat(pool2, gs_local, axis=1).astype(np.int64)
             key2 = resource_key(best2, n2, grids)
+            if blocked is not None:
+                key2[blocked[rows2]] = INF_KEY
             key2[picks[rows2]] = INF_KEY
             need = k_arr[rows2] - d1[rows2]
             nmax2 = int(need.max())
@@ -394,18 +867,64 @@ def _advance(col: ColumnarInstance, lane_objs: list[_Lane]):
             picks[rows2[rr2], gids2] = True
             pr_rows = np.concatenate((pr_rows, rows2[rr2]))
             pr_gs = np.concatenate((pr_gs, gids2))
+            # Phase-2 decision positions continue after phase 1's.
+            pr_pos = np.concatenate((pr_pos, d1[rows2[rr2]] + cc2))
 
         # Captures: a probed resource yields *every* candidate on it.
         if pr_rows.size == 0:
             continue
-        probe_log.append((T, pr_rows, grids[pr_gs]))
-        er, ec = np.nonzero(cand & picks[:, grp_of])
-        alive[er, ae[ec]] = False
-        flat = er * S + ps[ec]
-        np.add.at(cap_flat, flat, 1)
-        if need_medf:
-            m = is_medf[er]
-            np.add.at(capsum_flat, flat[m], fin_flat[alo:ahi][ec[m]])
+        if plane is None:
+            probe_log.append((T, pr_rows, grids[pr_gs]))
+            er, ec = np.nonzero(cand & picks[:, grp_of])
+            alive[er, ae[ec]] = False
+            flat = er * S + ps[ec]
+            np.add.at(cap_flat, flat, 1)
+            if need_medf:
+                m = is_medf[er]
+                np.add.at(capsum_flat, flat[m], fin_flat[alo:ahi][ec[m]])
+            continue
+
+        cap_l, cap_g, fl = plane.execute(T, glo, grids, pr_rows, pr_gs,
+                                         pr_pos, k_arr)
+        if committed is not None and n1 < pr_rows.size:
+            # A failed probe still commits its *selected* t-interval
+            # (budget was spent on it). Only fresh-pool (phase-2) picks
+            # can flip commitment — phase-1 NP picks come from the
+            # committed pool and preemptive lanes never read the flag.
+            # The selected candidate is pool 2's segment argmin: first
+            # index with the min key, the reduceat winner.
+            fail2 = np.nonzero(fl[n1:])[0]
+            if fail2.size:
+                tie = col.commit_tie()[ae]
+                row2_of = np.zeros(L, dtype=np.int64)
+                row2_of[rows2] = np.arange(rows2.size)
+                for j in fail2.tolist():
+                    jj = n1 + j
+                    i = int(pr_rows[jj])
+                    g = int(pr_gs[jj])
+                    lo2 = int(gs_local[g])
+                    hi2 = int(gs_local[g + 1]) if g + 1 < G else A
+                    keys = masked2[int(row2_of[i]), lo2:hi2]
+                    # The selected candidate is the segment's key min —
+                    # key-equal ties resolved by the fast engine's
+                    # (pid, tid, seq, ei_id) candidate order, which the
+                    # packed key does not encode.
+                    w = np.nonzero(keys == keys.min())[0]
+                    jbest = int(w[np.argmin(tie[lo2:hi2][w])])
+                    committed[i, ps[lo2 + jbest]] = True
+        if cap_l.size:
+            probe_log.append((T, cap_l, grids[cap_g]))
+            picks_ok = np.zeros((L, G), dtype=bool)
+            picks_ok[cap_l, cap_g] = True
+            er, ec = np.nonzero(cand & picks_ok[:, grp_of])
+            alive[er, ae[ec]] = False
+            if committed is not None:
+                committed[er, ps[ec]] = True
+            flat = er * S + ps[ec]
+            np.add.at(cap_flat, flat, 1)
+            if need_medf:
+                m = is_medf[er]
+                np.add.at(capsum_flat, flat[m], fin_flat[alo:ahi][ec[m]])
 
     # Group the probe log into per-lane, per-resource chronon sets — the
     # exact shape Schedule stores. Insertion order is irrelevant:
@@ -432,7 +951,14 @@ def _advance(col: ColumnarInstance, lane_objs: list[_Lane]):
                                        rids_all[starts].tolist()):
             lane_scheds[lane][rid] = set(ts_list[lo:hi_s])
 
-    return [(lane_objs[i], lane_scheds[i], cap_count[i]) for i in range(L)]
+    if plane is not None:
+        plane.finish()
+        stats = plane.lane_stats()
+    else:
+        stats = None
+    return [(lane_objs[i], lane_scheds[i], cap_count[i],
+             stats[i] if stats is not None else (0, 0, 0))
+            for i in range(L)]
 
 
 # ----------------------------------------------------------------------
@@ -441,7 +967,8 @@ def _advance(col: ColumnarInstance, lane_objs: list[_Lane]):
 
 def _finalize(col: ColumnarInstance, lane: _Lane,
               sched: dict[int, set[int]], cap_count: np.ndarray,
-              runtime: float) -> SimulationResult:
+              runtime: float,
+              stats: tuple[int, int, int] = (0, 0, 0)) -> SimulationResult:
     complete = cap_count == col.st_size
     if col.n_inst > 1:
         complete = complete & (col.st_inst == lane.inst)
@@ -470,6 +997,7 @@ def _finalize(col: ColumnarInstance, lane: _Lane,
         per_rank=per_rank,
     )
     schedule = Schedule.from_grouped(sched)
+    probes_failed, retries, quarantined = stats
     return SimulationResult(
         label=lane.policy.label(lane.preemptive),
         schedule=schedule,
@@ -477,4 +1005,7 @@ def _finalize(col: ColumnarInstance, lane: _Lane,
         probes_used=len(schedule),
         expired=total - captured_total,
         runtime_seconds=runtime,
+        probes_failed=probes_failed,
+        retries=retries,
+        resources_quarantined=quarantined,
     )

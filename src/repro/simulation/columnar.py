@@ -37,6 +37,7 @@ event-indexed fast engine.
 
 from __future__ import annotations
 
+import random
 from typing import Sequence
 
 import numpy as np
@@ -103,6 +104,7 @@ class ColumnarInstance:
         st_profile: list[int] = []
         st_size: list[int] = []
         st_inst: list[int] = []
+        st_tid: list[int] = []
         etas = []
         rid_max = 0
         for inst, profiles in enumerate(self.profile_sets):
@@ -114,6 +116,7 @@ class ColumnarInstance:
                     st_profile.append(eta.profile_id)
                     st_size.append(len(eta))
                     st_inst.append(inst)
+                    st_tid.append(eta.tinterval_id)
                     etas.append(eta)
                     for ei in eta:
                         if ei.resource_id > rid_max:
@@ -129,6 +132,7 @@ class ColumnarInstance:
                                    dtype=np.int64)
         self.st_size = np.array([st_size[i] for i in order], dtype=np.int64)
         self.st_inst = np.array([st_inst[i] for i in order], dtype=np.int64)
+        self.st_tid = np.array([st_tid[i] for i in order], dtype=np.int64)
 
         # ------------------------------------------------------------------
         # EIs state-major, within a state in ei_id order.
@@ -157,6 +161,12 @@ class ColumnarInstance:
         self._build_activity(last)
         self._build_events(last)
         self._build_keys(last)
+        # Lazily-built fault-plane columns (see fault_draw_column /
+        # outage_column): pure caches keyed on spec parameters, safe to
+        # share across every block run on this lowering.
+        self._fault_cols: dict[tuple, np.ndarray] = {}
+        self._fault_layout: tuple[np.ndarray, ...] | None = None
+        self._commit_tie: np.ndarray | None = None
 
     @classmethod
     def build(cls, profiles: ProfileSet, epoch: Epoch) -> "ColumnarInstance":
@@ -362,3 +372,99 @@ class ColumnarInstance:
                 << self.start_bits) | start) << self.rid_bits
         key |= grp_rid
         return np.where(empty, INF_KEY, key)
+
+    # ------------------------------------------------------------------
+    # Fault-plane columns (lazy, cached per fault-spec parameter)
+    # ------------------------------------------------------------------
+
+    def fault_layout(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-group ``(chronon, local resource id, instance)`` columns.
+
+        One entry per per-chronon per-resource group — the granularity at
+        which the fault model draws: a :class:`~repro.faults.model`
+        decision for attempt 0 depends only on the probed resource and
+        the chronon, both constant within a group.
+        """
+        if self._fault_layout is None:
+            grp_T = np.repeat(self.act_chronons,
+                              np.diff(self.grp_indptr))
+            grp_rid_local = self.grp_rid % self.rid_stride
+            grp_inst = self.grp_rid // self.rid_stride
+            self._fault_layout = (grp_T, grp_rid_local, grp_inst)
+        return self._fault_layout
+
+    def fault_draw_column(self, seed: int, channel: str,
+                          insts: frozenset[int]) -> np.ndarray:
+        """Attempt-0 fault draws of one ``(seed, channel)``, per group.
+
+        Reproduces :meth:`repro.faults.model.FaultInjector._draw`
+        bit-for-bit: entry ``g`` holds
+        ``random.Random(f"{seed}:{channel}:{rid}:{T}:0").random()`` for
+        the group's (local) resource and chronon. Groups of instances
+        outside ``insts`` (no lane with this seed runs on them) keep the
+        sentinel 2.0, which no probability in [0, 1] ever exceeds.
+
+        Draw keys are independent of whether the fast engine would have
+        consumed the draw (a skipped channel consumes nothing), so
+        precomputing every group unconditionally is stream-exact.
+        """
+        key = (seed, channel, insts)
+        column = self._fault_cols.get(key)
+        if column is None:
+            grp_T, grp_rid_local, grp_inst = self.fault_layout()
+            column = np.full(grp_T.size, 2.0)
+            mask = np.isin(grp_inst, np.fromiter(insts, dtype=np.int64,
+                                                 count=len(insts)))
+            idx = np.nonzero(mask)[0]
+            rng = random.Random
+            prefix = f"{seed}:{channel}:"
+            column[idx] = [
+                rng(f"{prefix}{rid}:{T}:0").random()
+                for rid, T in zip(grp_rid_local[idx].tolist(),
+                                  grp_T[idx].tolist())]
+            self._fault_cols[key] = column
+        return column
+
+    def commit_tie(self) -> np.ndarray:
+        """Per-EI rank in the fast engine's candidate tie-break order.
+
+        The packed candidate keys resolve equal (score, finish, start)
+        positionally — fine for pool aggregation, where only the best
+        *key* matters — but a failed probe commits the selected
+        candidate's *identity*, and the fast engine breaks those ties by
+        ``(profile_id, tinterval_id, seq, ei_id)``. This column ranks
+        every EI in that order so the commit hook can pick the same
+        candidate among key-equal ones.
+        """
+        if self._commit_tie is None:
+            first = np.searchsorted(self.ei_state, self.ei_state)
+            ei_id = np.arange(self.E, dtype=np.int64) - first
+            seqs = self.ei_state
+            order = np.lexsort((ei_id, seqs, self.st_tid[seqs],
+                                self.st_profile[seqs]))
+            tie = np.empty(self.E, dtype=np.int64)
+            tie[order] = np.arange(self.E, dtype=np.int64)
+            self._commit_tie = tie
+        return self._commit_tie
+
+    def outage_column(self, outages: tuple) -> np.ndarray:
+        """Boolean per-group column: the group's resource is down then.
+
+        ``outages`` is a :class:`~repro.faults.model.FaultSpec.outages`
+        tuple; windows name *local* resource ids, so the mask marks the
+        matching resource of every instance (a lane only ever consults
+        its own instance's groups).
+        """
+        key = ("outage", outages)
+        column = self._fault_cols.get(key)
+        if column is None:
+            grp_T, grp_rid_local, _grp_inst = self.fault_layout()
+            column = np.zeros(grp_T.size, dtype=bool)
+            for outage in outages:
+                mask = grp_rid_local == outage.resource_id
+                mask &= grp_T >= outage.start
+                if outage.last is not None:
+                    mask &= grp_T <= outage.last
+                column |= mask
+            self._fault_cols[key] = column
+        return column

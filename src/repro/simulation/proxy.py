@@ -272,18 +272,27 @@ def run_online(profiles: ProfileSet, epoch: Epoch, budget: BudgetVector,
     All produce identical results (verified by the equivalence property
     suites); the reference engine remains the executable specification.
 
-    The batch engine covers the fault-free core only: configurations with
-    fault injection, retries or a circuit breaker — and policies without
-    a columnar scoring kind — fall back to the fast engine silently.
+    The batch engine lowers the fault layer too (``faults``/``retry``/
+    ``breaker`` ride the block as a
+    :class:`~repro.simulation.batch.FaultLane`); only genuinely
+    unsupported configurations — replayed fault sources, subclassed
+    components, policies without a columnar scoring kind — fall back to
+    the fast engine silently.
     """
     if engine == "batch":
-        if faults is None and retry is None and breaker is None:
-            from repro.simulation.batch import BatchUnsupported, run_block
-            try:
-                return run_block(profiles, epoch,
-                                 [(policy, preemptive, budget)])[0]
-            except BatchUnsupported:
-                pass
+        from repro.simulation.batch import (
+            BatchUnsupported,
+            FaultLane,
+            run_block,
+        )
+        fault = FaultLane(faults, retry, breaker) \
+            if (faults is not None or retry is not None
+                or breaker is not None) else None
+        try:
+            return run_block(profiles, epoch,
+                             [(policy, preemptive, budget, 0, fault)])[0]
+        except BatchUnsupported:
+            pass
         engine = "fast"
     if engine == "fast":
         from repro.simulation.engine import FastProxySimulator

@@ -47,6 +47,44 @@ class TestFaultSweep:
             clean.outcomes["S-EDF(P)"].mean_gc
 
 
+class TestFaultSweepEngines:
+    def test_engines_produce_identical_series(self):
+        kwargs = dict(scale="smoke", rates=(0.0, 0.3),
+                      policies=("S-EDF(P)", "MRSF(NP)", "COVERAGE(NP)"))
+        batch = fault_sweep(**kwargs, engine="batch")
+        fast = fault_sweep(**kwargs, engine="fast")
+        for label in kwargs["policies"]:
+            assert batch.series(label) == fast.series(label)
+        # Every lane lowered: nothing fell back to the fast engine.
+        assert batch.fell_back == 0
+        assert fast.fell_back == 0
+
+    def test_setting_engines_agree(self):
+        config = baseline("smoke")
+        batch = run_fault_setting(config, 0.25, policies=("M-EDF(P)",),
+                                  engine="batch")
+        fast = run_fault_setting(config, 0.25, policies=("M-EDF(P)",),
+                                 engine="fast")
+        assert batch.outcomes["M-EDF(P)"].gc_values == \
+            fast.outcomes["M-EDF(P)"].gc_values
+
+    def test_fallback_lanes_are_counted(self):
+        # RANDOM has no columnar kind: under the batch engine each of
+        # its (repetition, rate) runs takes the fast path and is
+        # surfaced through fell_back; the series itself is unaffected.
+        config = baseline("smoke")
+        result = fault_sweep(scale="smoke", rates=(0.2, 0.4),
+                             policies=("S-EDF(P)", "RANDOM(NP)"),
+                             engine="batch")
+        assert result.fell_back == 2 * config.repetitions
+        for run in result.runs:
+            assert run.fell_back == config.repetitions
+        pure = fault_sweep(scale="smoke", rates=(0.2, 0.4),
+                           policies=("S-EDF(P)", "RANDOM(NP)"),
+                           engine="fast")
+        assert result.series("RANDOM(NP)") == pure.series("RANDOM(NP)")
+
+
 class TestBreakerAblation:
     def test_breaker_at_least_as_good(self):
         gc = breaker_ablation(scale="smoke")
@@ -59,6 +97,23 @@ class TestFaultsCli:
     def test_parser_accepts_faults(self):
         args = build_parser().parse_args(["faults", "--scale", "smoke"])
         assert args.experiment == "faults"
+
+    def test_engine_flag_defaults_to_experiment_choice(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.engine is None
+
+    def test_engine_flag_is_honoured(self, capsys):
+        # Both engines run the sweep and emit the same (deterministic)
+        # table — the flag must reach fault_sweep instead of being
+        # silently dropped.
+        assert main(["faults", "--scale", "smoke",
+                     "--engine", "batch"]) == 0
+        batch_out = capsys.readouterr().out
+        assert main(["faults", "--scale", "smoke",
+                     "--engine", "fast"]) == 0
+        fast_out = capsys.readouterr().out
+        assert "failure_rate" in batch_out
+        assert batch_out == fast_out
 
     def test_faults_smoke_table(self, capsys):
         assert main(["faults", "--scale", "smoke"]) == 0

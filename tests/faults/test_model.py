@@ -8,6 +8,7 @@ from repro.faults import (
     PROBE_OK,
     PROBE_THROTTLED,
     FaultInjector,
+    FaultReplayError,
     FaultSpec,
     Outage,
 )
@@ -38,6 +39,23 @@ class TestFaultSpec:
     def test_invalid_specs_rejected(self, kwargs):
         with pytest.raises(FaultError):
             FaultSpec(**kwargs)
+
+    def test_overlapping_outages_rejected(self):
+        with pytest.raises(FaultError) as err:
+            FaultSpec(outages=(Outage(2, 3, 9), Outage(2, 7, 12)))
+        message = str(err.value)
+        assert "resource 2" in message
+        assert "Outage(resource_id=2, start=3, last=9)" in message
+        assert "Outage(resource_id=2, start=7, last=12)" in message
+
+    def test_window_after_permanent_outage_rejected(self):
+        with pytest.raises(FaultError):
+            FaultSpec(outages=(Outage(1, 0, None), Outage(1, 50, 60)))
+
+    def test_disjoint_and_cross_resource_windows_accepted(self):
+        spec = FaultSpec(outages=(Outage(0, 0, 4), Outage(0, 5, None),
+                                  Outage(1, 2, 8)))
+        assert len(spec.outages) == 3
 
     def test_per_resource_overrides_global_rate(self):
         spec = FaultSpec(failure_probability=0.2, per_resource={7: 0.9})
@@ -191,6 +209,27 @@ class TestFaultTrace:
         replay = injector.trace.replay()
         assert not replay.decide(0, 1).ok
         assert replay.decide(99, 99).ok
+
+    def test_strict_replay_raises_off_trace(self):
+        injector = FaultInjector(FaultSpec(failure_probability=1.0))
+        injector.decide(0, 1)
+        replay = injector.trace.replay(strict=True)
+        assert not replay.decide(0, 1).ok
+        with pytest.raises(FaultReplayError) as err:
+            replay.decide(resource_id=7, chronon=3, attempt=2)
+        assert err.value.resource_id == 7
+        assert err.value.chronon == 3
+        assert err.value.attempt == 2
+        assert err.value.trace_length == 1
+        message = str(err.value)
+        assert "chronon=3" in message
+        assert "resource=7" in message
+        assert "attempt=2" in message
+        assert "1-record trace" in message
+
+    def test_strict_replay_is_a_fault_error(self):
+        # Callers catching the package's base error keep working.
+        assert issubclass(FaultReplayError, FaultError)
 
     def test_faults_only_filters_ok_records(self):
         spec = FaultSpec(per_resource={0: 1.0})

@@ -11,6 +11,7 @@ from repro.core import (
     ProfileSet,
     TInterval,
 )
+from repro.faults import FaultSpec, Outage
 
 HORIZON = 16
 NUM_RESOURCES = 4
@@ -55,3 +56,45 @@ def profile_sets(draw, max_profiles: int = 3,
 
 def epoch() -> Epoch:
     return Epoch(HORIZON)
+
+
+@st.composite
+def fault_specs(draw, num_resources: int = NUM_RESOURCES,
+                with_per_resource: bool = False) -> FaultSpec:
+    """A valid random fault model over ``num_resources`` resources.
+
+    Outage windows for one resource are kept disjoint (adjacent is
+    fine) — :class:`FaultSpec` rejects overlaps at construction — and a
+    resource with a permanent window gets no further windows.
+    """
+    outages = []
+    next_free: dict[int, int] = {}
+    permanent_out: set[int] = set()
+    for _ in range(draw(st.integers(0, 2))):
+        resource_id = draw(st.integers(0, num_resources - 1))
+        if resource_id in permanent_out:
+            continue
+        start = next_free.get(resource_id, 0) + draw(st.integers(0, 8))
+        if draw(st.booleans()):
+            last = None
+            permanent_out.add(resource_id)
+        else:
+            last = start + draw(st.integers(0, 6))
+            next_free[resource_id] = last + 1
+        outages.append(Outage(resource_id, start, last))
+    per_resource = {}
+    if with_per_resource:
+        per_resource = draw(st.dictionaries(
+            st.integers(0, num_resources - 1), st.floats(0.0, 1.0),
+            max_size=2))
+    return FaultSpec(
+        failure_probability=draw(st.floats(0.0, 0.9)),
+        timeout_probability=draw(st.floats(0.0, 0.3)),
+        stale_probability=draw(st.floats(0.0, 0.5)),
+        stale_lag=draw(st.integers(0, 3)),
+        outages=tuple(outages),
+        per_resource=per_resource,
+        max_probes_per_chronon=draw(
+            st.one_of(st.none(), st.integers(1, 3))),
+        seed=draw(st.integers(0, 2**16)),
+    )

@@ -14,11 +14,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import BudgetVector
-from repro.faults import CircuitBreaker, FaultSpec, Outage, RetryConfig
+from repro.faults import CircuitBreaker, RetryConfig
 from repro.online.registry import parse_policy_spec
 from repro.simulation import run_online
 
-from tests.properties.strategies import NUM_RESOURCES, epoch, profile_sets
+from tests.properties.strategies import epoch, fault_specs, profile_sets
 
 #: Every policy family, with the preemption mode the paper pairs it with
 #: plus the opposite mode for the two schedule-sensitive families.
@@ -29,25 +29,6 @@ POLICY_SPECS = [
     "FCFS(P)", "LFF(NP)",
     "STATICRANK(P)", "COVERAGE(P)", "RANDOM(NP)",
 ]
-
-
-@st.composite
-def fault_specs(draw) -> FaultSpec:
-    outages = []
-    for _ in range(draw(st.integers(0, 2))):
-        resource_id = draw(st.integers(0, NUM_RESOURCES - 1))
-        start = draw(st.integers(0, 12))
-        permanent = draw(st.booleans())
-        last = None if permanent else start + draw(st.integers(0, 6))
-        outages.append(Outage(resource_id, start, last))
-    return FaultSpec(
-        failure_probability=draw(st.floats(0.0, 0.9)),
-        timeout_probability=draw(st.floats(0.0, 0.3)),
-        outages=tuple(outages),
-        max_probes_per_chronon=draw(
-            st.one_of(st.none(), st.integers(1, 3))),
-        seed=draw(st.integers(0, 2**16)),
-    )
 
 
 def _run_both(profiles, spec, budget, faults=None, retry=None,

@@ -13,8 +13,6 @@ from hypothesis import strategies as st
 from repro.core import BudgetVector, Profile, TInterval
 from repro.faults import (
     CircuitBreaker,
-    FaultSpec,
-    Outage,
     RetryConfig,
     UnreliableServer,
 )
@@ -22,30 +20,9 @@ from repro.online import MEDFPolicy, MRSFPolicy, SEDFPolicy
 from repro.runtime import MonitoringProxy, OriginServer
 from repro.traces import UpdateTrace
 
-from tests.properties.strategies import NUM_RESOURCES, epoch, profile_sets
+from tests.properties.strategies import epoch, fault_specs, profile_sets
 
 POLICIES = [SEDFPolicy, MRSFPolicy, MEDFPolicy]
-
-
-@st.composite
-def fault_specs(draw) -> FaultSpec:
-    outages = []
-    for _ in range(draw(st.integers(0, 2))):
-        resource_id = draw(st.integers(0, NUM_RESOURCES - 1))
-        start = draw(st.integers(0, 12))
-        permanent = draw(st.booleans())
-        last = None if permanent else start + draw(st.integers(0, 6))
-        outages.append(Outage(resource_id, start, last))
-    return FaultSpec(
-        failure_probability=draw(st.floats(0.0, 0.9)),
-        timeout_probability=draw(st.floats(0.0, 0.3)),
-        stale_probability=draw(st.floats(0.0, 0.5)),
-        stale_lag=draw(st.integers(0, 3)),
-        outages=tuple(outages),
-        max_probes_per_chronon=draw(
-            st.one_of(st.none(), st.integers(1, 3))),
-        seed=draw(st.integers(0, 2**16)),
-    )
 
 
 def _bare_copy(profiles):
