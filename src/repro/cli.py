@@ -16,10 +16,12 @@ import sys
 from typing import Callable
 
 from repro.experiments import (
+    FederationSweep,
     FigurePair,
     RunOutcome,
     SweepResult,
     fault_sweep,
+    federation_sweep,
     figure3,
     figure4,
     figure5,
@@ -42,6 +44,7 @@ _EXPERIMENTS: dict[str, Callable[[str], object]] = {
     "fig7": figure7,
     "fig8": figure8,
     "faults": fault_sweep,
+    "federation": federation_sweep,
     "offline": offline_comparison,
 }
 
@@ -77,8 +80,53 @@ def _print_sweep(result: SweepResult, as_csv: bool,
             print()
 
 
+def _print_federation(result: FederationSweep, as_csv: bool) -> None:
+    rows = [
+        ["monolith", result.monolith.mean_gc, 0.0,
+         result.monolith.mean_runtime, 1.0, 0, 0],
+    ]
+    for outcome in result.outcomes:
+        rows.append([
+            f"K={outcome.shards}", outcome.mean_gc,
+            result.degradation(outcome.shards), outcome.mean_runtime,
+            result.speedup(outcome.shards), outcome.stolen_budget,
+            outcome.steal_transfers,
+        ])
+    if as_csv:
+        print(f"# federation ({result.policy})")
+        print("setting,mean_gc,gc_degradation,mean_runtime_s,speedup,"
+              "stolen_budget,steal_transfers")
+        for label, gc, deg, runtime, speedup, stolen, moves in rows:
+            print(f"{label},{gc:.6f},{deg:.6f},{runtime:.6f},"
+                  f"{speedup:.3f},{stolen},{moves}")
+        return
+    print(render_table(
+        ["setting", "mean GC", "GC degradation", "runtime (s)",
+         "speedup", "stolen budget", "transfers"], rows,
+        title=f"federation — {result.policy}"))
+    print()
+    load_rows = [
+        [f"K={outcome.shards} shard {load.shard}", load.resources,
+         load.probes_routed, load.nominal_budget, load.stolen_in,
+         load.stolen_out]
+        for outcome in result.outcomes if outcome.shards > 1
+        for load in outcome.loads
+    ]
+    if load_rows:
+        print(render_table(
+            ["shard", "resources", "probes routed", "nominal budget",
+             "stolen in", "stolen out"], load_rows,
+            title="federation — per-shard load"))
+        print()
+    print(render_table(
+        ["parameter", "value"], result.config.describe(),
+        title="federation — configuration"))
+
+
 def _print_result(name: str, result: object, as_csv: bool) -> None:
-    if isinstance(result, RunOutcome):
+    if isinstance(result, FederationSweep):
+        _print_federation(result, as_csv)
+    elif isinstance(result, RunOutcome):
         _print_run_outcome(name, result, as_csv)
     elif isinstance(result, SweepResult):
         metrics = ("gc", "runtime") if name in ("fig5", "offline") \
@@ -106,8 +154,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="which table/figure to run ('all' runs everything; "
              "'stats' prints baseline instance statistics; 'faults' "
              "sweeps origin-server failure rates for the "
-             "graceful-degradation curves; 'offline' compares the "
-             "offline solvers in the P^[1] regime; 'serve' starts the "
+             "graceful-degradation curves; 'federation' sweeps proxy "
+             "shard counts against the monolith engine; 'offline' "
+             "compares the offline solvers in the P^[1] regime; "
+             "'serve' starts the "
              "async HTTP/SSE proxy service; 'soak' runs the "
              "deterministic chaos harness; 'bench-report' prints the "
              "committed benchmark baselines and gates on regressions)",

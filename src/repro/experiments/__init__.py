@@ -26,6 +26,12 @@ from repro.experiments.figures import (
     figure8,
     table1,
 )
+from repro.experiments.federation import (
+    DEFAULT_SHARD_COUNTS,
+    FederationSweep,
+    ShardCountOutcome,
+    federation_sweep,
+)
 from repro.experiments.offline import (
     OFFLINE_SOLVER_LABELS,
     offline_comparison,
@@ -45,7 +51,11 @@ from repro.experiments.reporting import render_table, sweep_csv, sweep_table
 __all__ = [
     "ALL_POLICY_VARIANTS",
     "DEFAULT_FAILURE_RATES",
+    "DEFAULT_SHARD_COUNTS",
     "FAULT_POLICY_VARIANTS",
+    "FederationSweep",
+    "ShardCountOutcome",
+    "federation_sweep",
     "breaker_ablation",
     "fault_sweep",
     "run_fault_setting",

@@ -9,11 +9,38 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.experiments.federation import FederationSweep
 from repro.experiments.figures import FigurePair
 from repro.experiments.harness import RunOutcome, SweepResult
 from repro.experiments.reporting import render_table, sweep_csv, sweep_table
 
-__all__ = ["export_result", "export_run_outcome", "export_sweep"]
+__all__ = ["export_federation", "export_result", "export_run_outcome",
+           "export_sweep"]
+
+
+def export_federation(result: FederationSweep, directory: str | Path,
+                      stem: str) -> list[Path]:
+    """Write the shard-count series CSV plus a config dump."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    lines = ["setting,mean_gc,gc_degradation,mean_runtime_s,speedup,"
+             "stolen_budget,steal_transfers",
+             f"monolith,{result.monolith.mean_gc:.6f},0.000000,"
+             f"{result.monolith.mean_runtime:.6f},1.000,0,0"]
+    for outcome in result.outcomes:
+        lines.append(
+            f"K={outcome.shards},{outcome.mean_gc:.6f},"
+            f"{result.degradation(outcome.shards):.6f},"
+            f"{outcome.mean_runtime:.6f},"
+            f"{result.speedup(outcome.shards):.3f},"
+            f"{outcome.stolen_budget},{outcome.steal_transfers}")
+    csv_path = directory / f"{stem}.csv"
+    csv_path.write_text("\n".join(lines) + "\n")
+    config_path = directory / f"{stem}_config.txt"
+    config_path.write_text(render_table(
+        ["parameter", "value"], result.config.describe(),
+        title=f"{stem} configuration") + "\n")
+    return [csv_path, config_path]
 
 
 def export_sweep(result: SweepResult, directory: str | Path,
@@ -63,6 +90,8 @@ def export_run_outcome(outcome: RunOutcome, directory: str | Path,
 def export_result(name: str, result: object,
                   directory: str | Path) -> list[Path]:
     """Dispatch on the result type (RunOutcome / SweepResult / pair)."""
+    if isinstance(result, FederationSweep):
+        return export_federation(result, directory, name)
     if isinstance(result, RunOutcome):
         return export_run_outcome(result, directory, name)
     if isinstance(result, SweepResult):

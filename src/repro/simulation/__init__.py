@@ -5,14 +5,17 @@ from repro.simulation.columnar import BatchUnsupported, ColumnarInstance
 from repro.simulation.engine import FastProxySimulator
 from repro.simulation.proxy import ProxySimulator, run_online
 from repro.simulation.result import SimulationResult
+from repro.simulation.shard import FederatedResult, federated_run
 
 __all__ = [
     "BatchUnsupported",
     "ColumnarInstance",
     "FastProxySimulator",
+    "FederatedResult",
     "ProxySimulator",
     "SimulationResult",
     "batch_kind",
+    "federated_run",
     "run_block",
     "run_online",
 ]

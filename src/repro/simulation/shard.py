@@ -1,0 +1,603 @@
+"""Sharded proxy federation over the columnar candidate index.
+
+:func:`federated_run` advances one online run as ``K`` proxy shards plus
+a :class:`~repro.runtime.federation.ShardCoordinator`. The consistent-
+hash ring assigns every resource to a shard; each shard owns the slice
+of the columnar per-resource candidate index (see
+:mod:`repro.simulation.columnar`) covering its resources — contiguous
+copies of the static key columns, so per-chronon key computation touches
+only shard-local memory. T-intervals whose EIs span shards (allowed by
+the paper's model) are handled by *state replication*: capture, doom
+and M-EDF satisfiability aggregates live in a :class:`_Replica` that
+every shard reads and the coordinator's per-chronon capture broadcast
+keeps in sync, so a shard scores its local EIs with exactly the global
+state a monolith would use.
+
+Each chronon runs the propose/merge protocol:
+
+1. every shard proposes its ``min(C_j, |owned pools|)`` best resource
+   rank keys (packed monolith tie-break order, ending in the resource
+   id — globally unique);
+2. the coordinator merges proposals and takes the global top ``C_j`` —
+   provably the monolith engine's own selection, since the global
+   ``nsmallest`` of a union is the ``nsmallest`` of per-shard
+   ``nsmallest``s (non-preemptive runs repeat the merge for the
+   fresh-state pool, excluding already-probed resources);
+3. the coordinator books the chronon's budget on the per-shard ledgers:
+   nominal :func:`~repro.runtime.sharding.split_budget` shares,
+   realized demand, and the deterministic
+   :func:`~repro.runtime.sharding.steal_plan` transfers that moved
+   unspendable residual budget to the most oversubscribed shards;
+4. capture effects (the probed pools' candidate entries) are broadcast
+   and absorbed by every replica.
+
+Because selection is coordinator-exact, a federated run is
+**probe-for-probe identical to the monolith engines for every shard
+count** — gained-completeness degradation is zero by construction (the
+federation benchmark reports it per shard count to prove it) — and the
+ledgers record the work-stealing that realized the monolith schedule.
+
+Fault layers (drops, outages, rate limits, retries, breaker) execute
+coordinator-side through the columnar fault plane, RNG-stream exact
+with the fast engine. ``workers=N`` advances the shards on a forked
+process pool — each worker holds its shards' index slices plus a full
+state replica fed by the capture broadcast — and is restricted to
+fault-free runs (fault draws are a coordinator concern).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.budget import BudgetVector
+from repro.core.profile import ProfileSet
+from repro.core.timeline import Epoch
+from repro.online.base import Policy
+from repro.runtime.federation import ShardCoordinator
+from repro.runtime.sharding import ShardLoad
+from repro.simulation.batch import (
+    FaultLane,
+    _FaultPlane,
+    _finalize,
+    _make_lanes,
+)
+from repro.simulation.columnar import (
+    BatchUnsupported,
+    ColumnarInstance,
+    INF_KEY,
+)
+from repro.simulation.result import SimulationResult
+
+__all__ = ["FederatedResult", "federated_run"]
+
+_DYNAMIC = frozenset({"mrsf", "anti", "coverage", "medf"})
+
+
+@dataclass(frozen=True)
+class FederatedResult:
+    """Outcome of one federated run plus the federation's accounting.
+
+    ``result`` is bit-identical to what the monolith fast engine
+    produces for the same arguments. ``loads`` carries each shard's
+    owned-resource count, routed probes and budget ledger;
+    ``stolen_budget`` totals the units moved by work-stealing.
+    """
+
+    result: SimulationResult
+    shards: int
+    workers: int
+    loads: tuple[ShardLoad, ...]
+    stolen_budget: int
+    steal_transfers: int
+
+    @property
+    def gc(self) -> float:
+        return self.result.gc
+
+
+class _Replica:
+    """Full capture/doom/M-EDF state; coordinator and every shard
+    worker hold one, kept identical by the capture broadcast."""
+
+    __slots__ = ("col", "alive", "cap_count", "capsum", "sees_doom",
+                 "undoomed", "need_medf", "_xe_at", "_n_xe",
+                 "_xe_chronons", "_xe_indptr", "_xg_indptr")
+
+    def __init__(self, col: ColumnarInstance, sees_doom: bool,
+                 need_medf: bool) -> None:
+        self.col = col
+        self.alive = np.ones(col.E, dtype=bool)
+        self.cap_count = np.zeros(col.S, dtype=np.int64)
+        self.capsum = np.zeros(col.S, dtype=np.int64) if need_medf \
+            else None
+        self.need_medf = need_medf
+        self.sees_doom = sees_doom
+        self.undoomed = np.ones(col.S, dtype=bool)
+        self._xe_at = 0
+        self._n_xe = col.xe_chronons.size if sees_doom else 0
+        self._xe_chronons = col.xe_chronons.tolist()
+        self._xe_indptr = col.xe_indptr.tolist()
+        self._xg_indptr = col.xg_indptr.tolist()
+
+    def flush_expiry(self, T: int) -> None:
+        """Apply every expiry event due by ``T`` to the doom flags."""
+        col = self.col
+        while (self._xe_at < self._n_xe
+               and self._xe_chronons[self._xe_at] <= T):
+            at = self._xe_at
+            self._xe_at += 1
+            lo = self._xe_indptr[at]
+            hi = self._xe_indptr[at + 1]
+            glo = self._xg_indptr[at]
+            ghi = self._xg_indptr[at + 1]
+            xe = col.xe_e[lo:hi]
+            misses = self.alive[xe]
+            seg = col.xg_starts[glo:ghi] - lo
+            if seg.size != xe.size:
+                misses = np.logical_or.reduceat(misses, seg)
+            # One segment per state within a flush, so the fancy &= has
+            # no duplicate targets.
+            self.undoomed[col.xg_state[glo:ghi]] &= ~misses
+
+    def absorb(self, entries: np.ndarray) -> np.ndarray:
+        """Apply broadcast capture effects (candidate activity entries
+        of the probed pools); returns the captured states."""
+        col = self.col
+        self.alive[col.act_e[entries]] = False
+        states = col.ps_act[entries]
+        np.add.at(self.cap_count, states, 1)
+        if self.need_medf:
+            np.add.at(self.capsum, states, col.fin_act[entries])
+        return states
+
+
+def _entry_keys(col: ColumnarInstance, rep: _Replica, kind: str,
+                entries: np.ndarray, states: np.ndarray, T: int,
+                cand: np.ndarray, gs_rel: np.ndarray,
+                gof: np.ndarray) -> np.ndarray:
+    """Candidate keys for arbitrary activity entries (the slow, generic
+    path — used only for the rare commit-tie recompute under faults;
+    shard slices precompute their static columns instead)."""
+    if kind not in _DYNAMIC:
+        return col.hi_static[kind][entries]
+    if kind == "mrsf":
+        return (col.hi_static["srank"][entries]
+                - (rep.cap_count[states] << col.fs_bits))
+    if kind == "anti":
+        return (col.hi_static["anti"][entries]
+                + (rep.cap_count[states] << col.fs_bits))
+    if kind == "coverage":
+        n_tot = np.add.reduceat(cand, gs_rel).astype(np.int64)
+        return (((col.n_max - n_tot[gof]) << col.fs_bits)
+                + col.finstart_act[entries])
+    # medf
+    base = (col.init_sum_act[entries] + col.medf_off
+            - T * col.started_act[entries])
+    score = base - rep.capsum[states] + T * rep.cap_count[states]
+    return (score << col.fs_bits) + col.finstart_act[entries]
+
+
+class _ShardSlice:
+    """One shard's slice of the columnar candidate index.
+
+    Owns contiguous copies of the static key columns for the activity
+    entries of its resources' pools, plus the per-chronon group layout,
+    so a proposal touches only shard-local memory plus the replicated
+    per-state aggregates.
+    """
+
+    def __init__(self, col: ColumnarInstance, gids: np.ndarray,
+                 kind: str, grp_next: np.ndarray,
+                 grp_ti: np.ndarray) -> None:
+        self.kind = kind
+        self.n_max = col.n_max
+        self.fs_bits = col.fs_bits
+        self.medf_off = col.medf_off
+        self.gids = gids
+        self.grids = col.grp_rid[gids]
+        starts = col.grp_starts[gids]
+        sizes = (grp_next[gids] - starts).astype(np.int64)
+        total = int(sizes.sum())
+        cum = np.concatenate(([0], np.cumsum(sizes)))
+        ramp = np.arange(total, dtype=np.int64) - np.repeat(cum[:-1],
+                                                            sizes)
+        entries = np.repeat(starts, sizes) + ramp
+        self.gs = cum  # group starts within the slice (+ total sentinel)
+        self.gof = np.repeat(np.arange(gids.size, dtype=np.int64), sizes)
+        # Per-chronon pointers into the (chronon-ordered) group list.
+        n_act = col.act_chronons.size
+        self.gptr = np.searchsorted(
+            grp_ti[gids], np.arange(n_act + 1, dtype=np.int64))
+        # Shard-local copies of the columns keys are computed from.
+        self.ae = col.act_e[entries]
+        self.ps = col.ps_act[entries]
+        if kind in ("mrsf", "anti"):
+            base_kind = "srank" if kind == "mrsf" else "anti"
+            self.hi0 = col.hi_static[base_kind][entries]
+        elif kind == "coverage":
+            self.hi0 = col.finstart_act[entries]
+        elif kind == "medf":
+            self.hi0 = col.finstart_act[entries]
+            self.base0 = col.init_sum_act[entries] + col.medf_off
+            self.started = col.started_act[entries]
+        else:
+            self.hi0 = col.hi_static[kind][entries]
+        self.resource_key = col.resource_key
+
+    def propose(self, rep: _Replica, committed: np.ndarray | None,
+                preemptive: bool, ti: int, T: int, budget: int,
+                open_until: np.ndarray | None):
+        """This shard's chronon proposals: phase-1 (and, non-preemptive,
+        phase-2) ``(keys, pool gids)``, best first, ``INF_KEY`` pools
+        dropped."""
+        empty = np.zeros(0, dtype=np.int64)
+        glo = int(self.gptr[ti])
+        ghi = int(self.gptr[ti + 1])
+        if glo == ghi or budget <= 0:
+            return empty, empty, empty, empty
+        elo = int(self.gs[glo])
+        ehi = int(self.gs[ghi])
+        states = self.ps[elo:ehi]
+        cand = rep.alive[self.ae[elo:ehi]]
+        if rep.sees_doom:
+            cand &= rep.undoomed[states]
+        if not cand.any():
+            return empty, empty, empty, empty
+        gs_rel = self.gs[glo:ghi] - elo
+        kind = self.kind
+        if kind == "mrsf":
+            hi = self.hi0[elo:ehi] - (rep.cap_count[states]
+                                      << self.fs_bits)
+        elif kind == "anti":
+            hi = self.hi0[elo:ehi] + (rep.cap_count[states]
+                                      << self.fs_bits)
+        elif kind == "coverage":
+            n_tot = np.add.reduceat(cand, gs_rel).astype(np.int64)
+            gof = self.gof[elo:ehi] - glo
+            hi = (((self.n_max - n_tot[gof]) << self.fs_bits)
+                  + self.hi0[elo:ehi])
+        elif kind == "medf":
+            score = (self.base0[elo:ehi] - T * self.started[elo:ehi]
+                     - rep.capsum[states] + T * rep.cap_count[states])
+            hi = (score << self.fs_bits) + self.hi0[elo:ehi]
+        else:
+            hi = self.hi0[elo:ehi]
+
+        if preemptive:
+            keys1, pools1 = self._rank(hi, cand, gs_rel, glo, ghi,
+                                       budget, T, open_until)
+            return keys1, pools1, empty, empty
+        if committed is not None:
+            comm = committed[states]
+        else:
+            comm = rep.cap_count[states] > 0
+        keys1, pools1 = self._rank(hi, cand & comm, gs_rel, glo, ghi,
+                                   budget, T, open_until)
+        keys2, pools2 = self._rank(hi, cand & ~comm, gs_rel, glo, ghi,
+                                   budget, T, open_until)
+        return keys1, pools1, keys2, pools2
+
+    def _rank(self, hi: np.ndarray, pool: np.ndarray,
+              gs_rel: np.ndarray, glo: int, ghi: int, budget: int,
+              T: int, open_until: np.ndarray | None):
+        masked = np.where(pool, hi, INF_KEY)
+        best = np.minimum.reduceat(masked, gs_rel)
+        pool_n = np.add.reduceat(pool, gs_rel).astype(np.int64)
+        grids = self.grids[glo:ghi]
+        key = self.resource_key(best, pool_n, grids)
+        if open_until is not None:
+            key[open_until[grids] >= T] = INF_KEY
+        G = key.size
+        take = min(budget, G)
+        if G <= 192:
+            order = np.argsort(key)[:take]
+        else:
+            part = np.argpartition(key, take - 1)[:take]
+            order = part[np.argsort(key[part])]
+        keys = key[order]
+        valid = keys != INF_KEY
+        return keys[valid], self.gids[glo:ghi][order[valid]]
+
+
+# ----------------------------------------------------------------------
+# Forked shard workers
+# ----------------------------------------------------------------------
+
+def _worker_loop(conn, rep: _Replica, slices: list[_ShardSlice],
+                 shard_ids: list[int], preemptive: bool,
+                 act_chronons: list[int], budgets: list[int]) -> None:
+    """One worker process: absorb the capture broadcast, advance its
+    shards, answer with their proposals."""
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                break
+            ti, effects = message
+            if effects is not None and effects.size:
+                rep.absorb(effects)
+            T = act_chronons[ti]
+            rep.flush_expiry(T)
+            budget = budgets[ti]
+            conn.send([
+                slices[shard].propose(rep, None, preemptive, ti, T,
+                                      budget, None)
+                for shard in shard_ids])
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover
+        pass
+    finally:
+        conn.close()
+
+
+class _ShardWorkerPool:
+    """Forked processes advancing shard slices in parallel.
+
+    Fork (not spawn) so every worker inherits the built columnar
+    substrate and its slices copy-on-write; the per-chronon traffic is
+    just the capture broadcast down and the proposals back.
+    """
+
+    def __init__(self, workers: int, rep: _Replica,
+                 slices: list[_ShardSlice], preemptive: bool,
+                 act_chronons: list[int], budgets: list[int]) -> None:
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        shards = len(slices)
+        count = min(workers, shards)
+        self._assignment = [list(range(w, shards, count))
+                            for w in range(count)]
+        self._conns = []
+        self._procs = []
+        for shard_ids in self._assignment:
+            parent, child = context.Pipe()
+            proc = context.Process(
+                target=_worker_loop,
+                args=(child, rep, slices, shard_ids, preemptive,
+                      act_chronons, budgets),
+                daemon=True)
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        self.shards = shards
+
+    def step(self, ti: int, effects: np.ndarray | None) -> list:
+        """Broadcast one chronon; returns proposals in shard order."""
+        for conn in self._conns:
+            conn.send((ti, effects))
+        by_shard: list = [None] * self.shards
+        for shard_ids, conn in zip(self._assignment, self._conns):
+            answers = conn.recv()
+            for shard, answer in zip(shard_ids, answers):
+                by_shard[shard] = answer
+        return by_shard
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+                conn.close()
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for proc in self._procs:
+            proc.join(timeout=10)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=5)
+
+
+# ----------------------------------------------------------------------
+# The federated chronon loop
+# ----------------------------------------------------------------------
+
+def federated_run(profiles: ProfileSet, epoch: Epoch,
+                  budget: BudgetVector, policy: Policy, *,
+                  preemptive: bool = True, shards: int = 4,
+                  coordinator: ShardCoordinator | None = None,
+                  faults=None, retry=None, breaker=None,
+                  workers: int = 0,
+                  columnar: ColumnarInstance | None = None,
+                  ) -> FederatedResult:
+    """Run one online simulation as a K-shard proxy federation.
+
+    Returns a :class:`FederatedResult` whose ``result`` is
+    probe-for-probe identical to
+    ``run_online(..., engine="fast")`` for the same arguments — for any
+    shard count — plus the federation's per-shard loads and
+    work-stealing ledger. ``workers=N`` advances the shards on N forked
+    worker processes (fault-free runs only); ``workers=0`` advances
+    them in-process, with identical results.
+
+    Raises :class:`~repro.simulation.columnar.BatchUnsupported` for
+    policies without a columnar scoring kind (e.g. RANDOM) and
+    instances whose packed keys overflow — such runs need the monolith
+    fast engine.
+    """
+    started = time.perf_counter()
+    col = columnar if columnar is not None else \
+        ColumnarInstance.build(profiles, epoch)
+    if col.n_inst != 1:
+        raise ValueError("federated_run schedules one instance; build "
+                         "the columnar form with a single ProfileSet")
+    fault = None
+    if faults is not None or retry is not None or breaker is not None:
+        fault = FaultLane(faults, retry, breaker)
+    lane_objs = _make_lanes([(policy, preemptive, budget, 0, fault)], 1)
+    lane = lane_objs[0]
+    plane = _FaultPlane(col, lane_objs) if lane.fault_active else None
+    if plane is not None and workers:
+        raise ValueError(
+            "workers>0 advances shards in parallel, which only "
+            "fault-free runs support — fault draws, retries and "
+            "breaker state execute coordinator-side")
+
+    coord = coordinator if coordinator is not None else \
+        ShardCoordinator(shards)
+    K = coord.shards
+    owner = coord.assign(col.rid_stride)
+    ownerg = owner[col.grp_rid]
+
+    total_act = col.act_e.size
+    grp_next = np.append(col.grp_starts[1:], total_act).astype(np.int64)
+    grp_ti = np.repeat(
+        np.arange(col.act_chronons.size, dtype=np.int64),
+        np.diff(col.grp_indptr))
+    slices = [
+        _ShardSlice(col, np.nonzero(ownerg == shard)[0], lane.kind,
+                    grp_next, grp_ti)
+        for shard in range(K)]
+
+    rep = _Replica(col, lane.sees_doom, lane.kind == "medf")
+    committed = np.zeros(col.S, dtype=bool) \
+        if plane is not None and not preemptive else None
+
+    act_chronons = col.act_chronons.tolist()
+    n_act = len(act_chronons)
+    if lane.budget.is_constant():
+        budgets = [lane.budget.default] * n_act
+    else:
+        budgets = [lane.budget.at(T) for T in act_chronons]
+    grp_indptr = col.grp_indptr.tolist()
+
+    pool = None
+    if workers and K > 1:
+        pool = _ShardWorkerPool(workers, rep, slices, preemptive,
+                                act_chronons, budgets)
+    schedule: dict[int, set[int]] = {}
+    pending: np.ndarray | None = None
+
+    try:
+        for ti in range(n_act):
+            T = act_chronons[ti]
+            rep.flush_expiry(T)
+            C = budgets[ti]
+            if C <= 0:
+                continue
+            open_until = None
+            if plane is not None and plane.blocking:
+                open_until = plane.open_until[0]
+
+            if pool is not None:
+                per_shard = pool.step(ti, pending)
+                pending = None
+            else:
+                per_shard = [
+                    piece.propose(rep, committed, preemptive, ti, T, C,
+                                  open_until)
+                    for piece in slices]
+
+            winners = ShardCoordinator.merge_proposals(
+                [(keys1, pools1) for keys1, pools1, _k2, _p2 in per_shard
+                 if pools1.size], C)
+            if not preemptive and winners.size < C:
+                second = ShardCoordinator.merge_proposals(
+                    [(keys2, pools2) for _k1, _p1, keys2, pools2
+                     in per_shard if pools2.size],
+                    C - winners.size, exclude=winners)
+                decisions = np.concatenate((winners, second))
+            else:
+                decisions = winners
+            if decisions.size == 0:
+                continue
+
+            coord.settle(C, np.bincount(ownerg[decisions],
+                                        minlength=K).tolist())
+
+            glo = grp_indptr[ti]
+            if plane is None:
+                captured = decisions
+            else:
+                grids_T = col.grp_rid[glo:grp_indptr[ti + 1]]
+                positions = np.arange(decisions.size, dtype=np.int64)
+                cap_l, cap_g, failed = plane.execute(
+                    T, glo, grids_T, np.zeros_like(decisions),
+                    decisions - glo, positions,
+                    np.array([C], dtype=np.int64))
+                if committed is not None \
+                        and winners.size < decisions.size:
+                    _commit_failed(col, rep, lane.kind, committed,
+                                   decisions, winners.size, failed,
+                                   grp_next, T)
+                captured = glo + cap_g
+
+            if captured.size:
+                entries = _entries_of(col, grp_next, captured)
+                mask = rep.alive[col.act_e[entries]]
+                if rep.sees_doom:
+                    mask &= rep.undoomed[col.ps_act[entries]]
+                entries = entries[mask]
+                for rid in col.grp_rid[captured].tolist():
+                    schedule.setdefault(rid, set()).add(T)
+                states = rep.absorb(entries)
+                if committed is not None and states.size:
+                    committed[states] = True
+                if pool is not None:
+                    pending = entries
+    finally:
+        if pool is not None:
+            pool.close()
+
+    if plane is not None:
+        plane.finish()
+        stats = plane.lane_stats()[0]
+    else:
+        stats = (0, 0, 0)
+    elapsed = time.perf_counter() - started
+    result = _finalize(col, lane, schedule, rep.cap_count, elapsed,
+                       stats)
+    owned = np.bincount(owner[np.unique(col.grp_rid)],
+                        minlength=K).tolist()
+    loads = tuple(coord.loads(resources=owned))
+    return FederatedResult(
+        result=result, shards=K, workers=workers if pool else 0,
+        loads=loads, stolen_budget=coord.ledger.transferred_units,
+        steal_transfers=coord.ledger.transfers)
+
+
+def _entries_of(col: ColumnarInstance, grp_next: np.ndarray,
+                gids: np.ndarray) -> np.ndarray:
+    """Activity-entry indices of the given pools (flat group ids)."""
+    starts = col.grp_starts[gids]
+    sizes = (grp_next[gids] - starts).astype(np.int64)
+    total = int(sizes.sum())
+    cum = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    ramp = np.arange(total, dtype=np.int64) - np.repeat(cum, sizes)
+    return np.repeat(starts, sizes) + ramp
+
+
+def _commit_failed(col: ColumnarInstance, rep: _Replica, kind: str,
+                   committed: np.ndarray, decisions: np.ndarray,
+                   n_phase1: int, failed: np.ndarray,
+                   grp_next: np.ndarray, T: int) -> None:
+    """A failed fresh-pool probe still commits its selected t-interval.
+
+    Mirrors the batch engine's commitment hook: the selected candidate
+    is the pool's key minimum, key-equal ties resolved by the fast
+    engine's ``(profile_id, tinterval_id, seq, ei_id)`` order.
+    """
+    fail2 = np.nonzero(failed[n_phase1:])[0]
+    if not fail2.size:
+        return
+    tie = col.commit_tie()
+    for j in fail2.tolist():
+        gid = int(decisions[n_phase1 + j])
+        entries = np.arange(col.grp_starts[gid], grp_next[gid],
+                            dtype=np.int64)
+        states = col.ps_act[entries]
+        cand = rep.alive[col.act_e[entries]]
+        if rep.sees_doom:
+            cand &= rep.undoomed[states]
+        pool2 = cand & ~committed[states]
+        keys = np.where(
+            pool2,
+            _entry_keys(col, rep, kind, entries, states, T, cand,
+                        np.zeros(1, dtype=np.int64),
+                        np.zeros(entries.size, dtype=np.int64)),
+            INF_KEY)
+        winners = np.nonzero(keys == keys.min())[0]
+        best = int(winners[np.argmin(tie[col.act_e[entries]][winners])])
+        committed[states[best]] = True

@@ -1,5 +1,6 @@
 """Tests for multi-server federation."""
 
+import numpy as np
 import pytest
 
 from repro.core import (
@@ -10,8 +11,14 @@ from repro.core import (
     Profile,
     TInterval,
 )
+from repro.faults import FaultSpec, UnreliableServer
 from repro.online import MRSFPolicy
-from repro.runtime import MonitoringProxy, OriginServer, ServerFleet
+from repro.runtime import (
+    MonitoringProxy,
+    OriginServer,
+    ServerFleet,
+    ShardCoordinator,
+)
 from repro.traces import UpdateEvent, UpdateTrace
 
 
@@ -91,6 +98,106 @@ class TestClock:
 
     def test_empty_fleet_clock(self):
         assert ServerFleet({}).clock == 0
+
+
+class TestProbeAccounting:
+    """Routed vs. answered load (satellite: breaker-short-circuited and
+    failed probes count as routed, not answered)."""
+
+    @pytest.fixture
+    def flaky_fleet(self) -> ServerFleet:
+        epoch = Epoch(20)
+        good = OriginServer(UpdateTrace(
+            [UpdateEvent(3, 0, "ok:1")], epoch))
+        dead = UnreliableServer(
+            OriginServer(UpdateTrace([UpdateEvent(4, 1, "dead:1")],
+                                     epoch)),
+            FaultSpec(failure_probability=1.0, seed=5))
+        return ServerFleet({"good": (good, [0]), "dead": (dead, [1])})
+
+    def test_failed_try_probe_routed_but_not_answered(self, flaky_fleet):
+        flaky_fleet.advance_to(10)
+        assert not flaky_fleet.try_probe(1).ok
+        flaky_fleet.try_probe(0)
+        assert flaky_fleet.probes_routed() == {"good": 1, "dead": 1}
+        assert flaky_fleet.probes_answered() == {"good": 1, "dead": 0}
+
+    def test_successful_probe_counts_in_both(self, fleet):
+        fleet.advance_to(10)
+        fleet.probe(0)
+        fleet.probe(2)
+        assert fleet.probes_routed() == {"nyse": 1, "lse": 1}
+        assert fleet.probes_answered() == {"nyse": 1, "lse": 1}
+
+    def test_probe_counts_is_routed_alias(self, flaky_fleet):
+        flaky_fleet.advance_to(10)
+        flaky_fleet.try_probe(1)
+        assert flaky_fleet.probe_counts() == flaky_fleet.probes_routed()
+
+
+class TestMergedAdvance:
+    def test_interleaved_events_come_back_sorted(self):
+        epoch = Epoch(30)
+        a = OriginServer(UpdateTrace(
+            [UpdateEvent(2, 0, "a"), UpdateEvent(9, 1, "a")], epoch))
+        b = OriginServer(UpdateTrace(
+            [UpdateEvent(5, 2, "b"), UpdateEvent(9, 3, "b")], epoch))
+        fleet = ServerFleet({"b": (b, [2, 3]), "a": (a, [0, 1])})
+        events = fleet.advance_to(20)
+        assert events == sorted(events)
+        assert [e.resource_id for e in events] == [0, 2, 1, 3]
+
+    def test_advance_consumes_every_member_even_on_empty_prefix(self):
+        """The k-way merge must advance every member eagerly: a member
+        with no events still needs its clock moved."""
+        epoch = Epoch(10)
+        quiet = OriginServer(UpdateTrace([], epoch))
+        busy = OriginServer(UpdateTrace([UpdateEvent(1, 0, "x")], epoch))
+        fleet = ServerFleet({"quiet": (quiet, [5]), "busy": (busy, [0])})
+        fleet.advance_to(7)
+        assert quiet.clock == 7
+        assert busy.clock == 7
+
+
+class TestShardCoordinator:
+    def test_assign_is_deterministic_and_complete(self):
+        owners = ShardCoordinator(4).assign(100)
+        again = ShardCoordinator(4).assign(100)
+        assert np.array_equal(owners, again)
+        assert owners.size == 100
+        assert set(owners.tolist()) <= set(range(4))
+
+    def test_merge_proposals_takes_global_best(self):
+        proposals = [
+            (np.array([3, 10]), np.array([30, 31])),
+            (np.array([1, 20]), np.array([40, 41])),
+            (np.array([2, 5]), np.array([50, 51])),
+        ]
+        winners = ShardCoordinator.merge_proposals(proposals, 3)
+        assert winners.tolist() == [40, 50, 30]
+
+    def test_merge_proposals_respects_exclusions(self):
+        proposals = [(np.array([1, 2, 3]), np.array([7, 8, 9]))]
+        winners = ShardCoordinator.merge_proposals(
+            proposals, 2, exclude=np.array([7]))
+        assert winners.tolist() == [8, 9]
+
+    def test_merge_proposals_empty_cases(self):
+        assert ShardCoordinator.merge_proposals([], 3).size == 0
+        empty = (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64))
+        assert ShardCoordinator.merge_proposals([empty], 3).size == 0
+        proposals = [(np.array([1]), np.array([2]))]
+        assert ShardCoordinator.merge_proposals(proposals, 0).size == 0
+
+    def test_settle_accumulates_routed_probes(self):
+        coordinator = ShardCoordinator(2)
+        coordinator.settle(2, [0, 2])
+        coordinator.settle(2, [1, 1])
+        assert coordinator.probes_routed == [1, 3]
+        loads = coordinator.loads(resources=[4, 6])
+        assert loads[0].probes_routed == 1
+        assert loads[1].stolen_in == 1
+        assert loads[1].resources == 6
 
 
 class TestProxyIntegration:

@@ -1,0 +1,225 @@
+"""Tests for the federated (sharded) simulation engine.
+
+The acceptance bar: a federated run is probe-for-probe identical to the
+monolith engines at every shard count — K=1 especially, the ISSUE's
+explicit criterion — with the coordinator ledgers conserving budget.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.core import BudgetVector, Epoch
+from repro.faults import CircuitBreaker, FaultSpec, Outage, RetryConfig
+from repro.online.registry import parse_policy_spec
+from repro.runtime import ShardCoordinator
+from repro.simulation import (
+    BatchUnsupported,
+    FederatedResult,
+    federated_run,
+    run_online,
+)
+from repro.simulation.columnar import ColumnarInstance
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.federation import federation_sweep
+from repro.experiments.harness import make_instance
+
+CONFIG = ExperimentConfig(
+    epoch_length=60, num_resources=12, num_profiles=18, max_rank=3,
+    intensity=8.0, budget=2, window=6, repetitions=1, seed=123)
+
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@pytest.fixture(scope="module")
+def instance():
+    _trace, profiles = make_instance(CONFIG, 0)
+    return profiles
+
+
+def _run_pair(profiles, spec, shards, kwargs_factory=dict):
+    # Fault objects (breakers especially) are stateful: build a fresh
+    # set per run so the two engines start from identical clean slates.
+    policy, preemptive = parse_policy_spec(spec)
+    reference = run_online(profiles, CONFIG.epoch, CONFIG.budget_vector,
+                           policy, preemptive=preemptive, engine="fast",
+                           **kwargs_factory())
+    policy, preemptive = parse_policy_spec(spec)
+    federated = federated_run(profiles, CONFIG.epoch,
+                              CONFIG.budget_vector, policy,
+                              preemptive=preemptive, shards=shards,
+                              **kwargs_factory())
+    return reference, federated
+
+
+def _assert_same(reference, federated: FederatedResult):
+    result = federated.result
+    assert list(result.schedule.probes()) == \
+        list(reference.schedule.probes())
+    assert result.label == reference.label
+    assert result.report == reference.report
+    assert result.probes_used == reference.probes_used
+    assert result.expired == reference.expired
+
+
+class TestMonolithIdentity:
+    @pytest.mark.parametrize("spec", ["S-EDF(P)", "S-EDF(NP)",
+                                      "M-EDF(P)", "M-EDF(NP)",
+                                      "MRSF(P)", "COVERAGE(NP)",
+                                      "ANTI-MRSF(P)", "FCFS(NP)",
+                                      "LFF(P)", "STATICRANK(NP)"])
+    def test_k1_probe_for_probe_identical(self, instance, spec):
+        reference, federated = _run_pair(instance, spec, shards=1)
+        _assert_same(reference, federated)
+
+    @pytest.mark.parametrize("shards", [2, 3, 4, 8])
+    def test_multi_shard_identical(self, instance, shards):
+        for spec in ("M-EDF(P)", "S-EDF(NP)"):
+            reference, federated = _run_pair(instance, spec,
+                                             shards=shards)
+            _assert_same(reference, federated)
+
+    def test_reference_engine_identity(self, instance):
+        """Transitively: federated == fast == reference engine."""
+        policy, preemptive = parse_policy_spec("MRSF(P)")
+        reference = run_online(instance, CONFIG.epoch,
+                               CONFIG.budget_vector, policy,
+                               preemptive=preemptive,
+                               engine="reference")
+        policy, preemptive = parse_policy_spec("MRSF(P)")
+        federated = federated_run(instance, CONFIG.epoch,
+                                  CONFIG.budget_vector, policy,
+                                  preemptive=preemptive, shards=4)
+        _assert_same(reference, federated)
+
+
+class TestFaultIdentity:
+    def _fault_kwargs(self):
+        return dict(
+            faults=FaultSpec(failure_probability=0.25,
+                             timeout_probability=0.1,
+                             stale_probability=0.05, seed=7,
+                             outages=(Outage(3, 10, 15),),
+                             max_probes_per_chronon=3),
+            retry=RetryConfig(max_retries=2),
+            breaker=CircuitBreaker(failure_threshold=2, cooldown=5))
+
+    @pytest.mark.parametrize("spec", ["S-EDF(P)", "S-EDF(NP)",
+                                      "M-EDF(NP)"])
+    @pytest.mark.parametrize("shards", [1, 4])
+    def test_faulty_run_identical(self, instance, spec, shards):
+        reference, federated = _run_pair(instance, spec, shards,
+                                         self._fault_kwargs)
+        _assert_same(reference, federated)
+        result = federated.result
+        assert result.probes_failed == reference.probes_failed
+        assert result.retries == reference.retries
+        assert result.resources_quarantined == \
+            reference.resources_quarantined
+
+    def test_workers_with_faults_rejected(self, instance):
+        with pytest.raises(ValueError, match="fault"):
+            federated_run(instance, CONFIG.epoch, CONFIG.budget_vector,
+                          parse_policy_spec("S-EDF(P)")[0], shards=2,
+                          workers=2, faults=FaultSpec(
+                              failure_probability=0.5, seed=1))
+
+
+class TestWorkerPool:
+    @pytest.mark.skipif(not _HAS_FORK,
+                        reason="fork start method unavailable")
+    @pytest.mark.parametrize("spec", ["S-EDF(P)", "M-EDF(NP)"])
+    def test_worker_pool_matches_in_process(self, instance, spec):
+        policy, preemptive = parse_policy_spec(spec)
+        serial = federated_run(instance, CONFIG.epoch,
+                               CONFIG.budget_vector, policy,
+                               preemptive=preemptive, shards=4)
+        policy, preemptive = parse_policy_spec(spec)
+        pooled = federated_run(instance, CONFIG.epoch,
+                               CONFIG.budget_vector, policy,
+                               preemptive=preemptive, shards=4,
+                               workers=2)
+        assert list(pooled.result.schedule.probes()) == \
+            list(serial.result.schedule.probes())
+        assert pooled.result.report == serial.result.report
+        assert pooled.workers == 2
+        assert serial.workers == 0
+        assert [load.probes_routed for load in pooled.loads] == \
+            [load.probes_routed for load in serial.loads]
+
+
+class TestAccounting:
+    def test_ledger_conserves_budget(self, instance):
+        federated = federated_run(instance, CONFIG.epoch,
+                                  CONFIG.budget_vector,
+                                  parse_policy_spec("M-EDF(P)")[0],
+                                  shards=4)
+        loads = federated.loads
+        assert sum(load.probes_routed for load in loads) == \
+            federated.result.probes_used
+        for load in loads:
+            assert load.probes_routed <= load.effective_budget
+        assert sum(load.stolen_in for load in loads) == \
+            sum(load.stolen_out for load in loads)
+        assert federated.stolen_budget == \
+            sum(load.stolen_in for load in loads)
+
+    def test_loads_cover_every_shard(self, instance):
+        federated = federated_run(instance, CONFIG.epoch,
+                                  CONFIG.budget_vector,
+                                  parse_policy_spec("S-EDF(P)")[0],
+                                  shards=6)
+        assert [load.shard for load in federated.loads] == list(range(6))
+        assert sum(load.resources for load in federated.loads) > 0
+
+    def test_custom_coordinator_is_driven(self, instance):
+        coordinator = ShardCoordinator(3)
+        federated = federated_run(instance, CONFIG.epoch,
+                                  CONFIG.budget_vector,
+                                  parse_policy_spec("S-EDF(P)")[0],
+                                  coordinator=coordinator)
+        assert federated.shards == 3
+        assert sum(coordinator.probes_routed) == \
+            federated.result.probes_used
+
+    def test_coordinator_run_wrapper(self, instance):
+        coordinator = ShardCoordinator(2)
+        federated = coordinator.run(instance, CONFIG.epoch,
+                                    CONFIG.budget_vector,
+                                    parse_policy_spec("S-EDF(P)")[0])
+        assert isinstance(federated, FederatedResult)
+        assert federated.shards == 2
+
+
+class TestRejections:
+    def test_policy_without_columnar_kind_raises(self, instance):
+        with pytest.raises(BatchUnsupported, match="columnar"):
+            federated_run(instance, CONFIG.epoch, CONFIG.budget_vector,
+                          parse_policy_spec("RANDOM(P)")[0], shards=2)
+
+    def test_multi_instance_columnar_rejected(self, instance):
+        col = ColumnarInstance.build_many([instance, instance],
+                                          CONFIG.epoch)
+        with pytest.raises(ValueError, match="one instance"):
+            federated_run(instance, CONFIG.epoch, CONFIG.budget_vector,
+                          parse_policy_spec("S-EDF(P)")[0], shards=2,
+                          columnar=col)
+
+
+class TestFederationSweep:
+    def test_sweep_reports_zero_degradation(self):
+        config = ExperimentConfig(
+            epoch_length=40, num_resources=8, num_profiles=10,
+            intensity=6.0, budget=2, window=5, repetitions=2, seed=42)
+        sweep = federation_sweep(shard_counts=(1, 2, 4),
+                                 policy="M-EDF(P)", config=config)
+        assert sweep.shard_counts == (1, 2, 4)
+        for shards in sweep.shard_counts:
+            assert sweep.degradation(shards) == pytest.approx(0.0)
+            assert sweep.speedup(shards) > 0.0
+        outcome = sweep.outcome(4)
+        assert len(outcome.loads) == 4
+        assert outcome.probes_routed > 0
+        with pytest.raises(KeyError):
+            sweep.outcome(16)
