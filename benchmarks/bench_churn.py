@@ -1,23 +1,273 @@
-"""Client-churn bench: completeness and fairness under dynamic arrival.
+"""Live-churn bench: incremental insert/delete vs. full rebuilds.
 
-Beyond the paper (which registers all profiles up front): clients joining
-throughout the epoch lose the t-intervals that elapsed before arrival,
-lowering both delivered completeness and cross-client fairness (late
-joiners do systematically worse). Leavers convert pending work into
-drops without hurting the rest.
+Times the same churn-heavy scenario twice through the fast engine —
+once on the incremental path (O(log n + touched) event splicing into
+the live event queues / candidate index) and once with a from-scratch
+:meth:`~repro.simulation.engine.FastProxySimulator.rebuild_structures`
+pass after every churn event — and asserts the two produce
+probe-for-probe identical results every round. The offline section
+does the same for the conflict-adjacency / Local-Ratio pipeline:
+:class:`~repro.offline.incremental.IncrementalLocalRatio` maintaining
+the adjacency and the live Hall-precheck assigner across events vs.
+a from-scratch :func:`~repro.offline.conflict.unit_conflict_adjacency`
+rebuild per event. Results land in ``BENCH_churn.json``::
+
+    PYTHONPATH=src python benchmarks/bench_churn.py \
+        --output BENCH_churn.json
+
+The ``target`` scale is the acceptance scale: a churn-heavy epoch
+(hundreds of registrations and cancellations over hundreds of live
+profiles) where the gated ``speedup`` keys must stay >= 3x. ``--smoke``
+restricts to the tiny scale for CI; the bench-report gate compares
+every regenerated scale against the committed baseline.
+
+The two qualitative pytest benches (arrival spread vs. completeness,
+leavers vs. drops) ride along at the bottom and are collected only
+when pytest targets ``benchmarks/``.
 """
 
 from __future__ import annotations
 
-import pytest
+import argparse
+import json
+import statistics
+import sys
+import time
+from dataclasses import asdict
 
-from repro.experiments import ChurnConfig, run_churn
-from repro.experiments.reporting import render_table
+from repro.core.budget import BudgetVector
+from repro.core.profile import ProfileSet
+from repro.experiments.churn import (
+    ChurnConfig,
+    build_churn_workload,
+    run_churn,
+)
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import make_instance
+from repro.offline.conflict import (
+    clear_demand_cache,
+    unit_conflict_adjacency,
+)
+from repro.offline.incremental import IncrementalLocalRatio
+from repro.offline.local_ratio import LocalRatioApproximation
+from repro.online.registry import parse_policy_spec
+from repro.simulation.churn import run_churned
 
-from benchmarks.conftest import print_block
+try:
+    from benchmarks._provenance import provenance_header
+except ImportError:  # run as a top-level script (python benchmarks/...)
+    from _provenance import provenance_header
+
+__all__ = ["ENGINE_SCALES", "OFFLINE_SCALES", "bench_engine_churn",
+           "bench_offline_churn", "main"]
+
+#: Engine scales. ``target`` is churn-heavy — every client joins
+#: mid-epoch and half churn out again, so the per-event O(n) rebuild
+#: referee pays hundreds of full event-queue/index reconstructions
+#: over hundreds of live profiles. ``tiny`` is the CI smoke scale.
+ENGINE_SCALES: dict[str, ChurnConfig] = {
+    "tiny": ChurnConfig(epoch_length=80, num_resources=16,
+                        intensity=8.0, num_clients=6,
+                        profiles_per_client=4, window=6,
+                        join_spread=0.9, leave_probability=0.5,
+                        seed=1234),
+    "target": ChurnConfig(epoch_length=300, num_resources=100,
+                          intensity=10.0, num_clients=48,
+                          profiles_per_client=12, window=10,
+                          budget=2, join_spread=0.9,
+                          leave_probability=0.5, seed=20080407),
+}
+
+#: Offline scales (unit-width instances for the P^[1] pipeline).
+OFFLINE_SCALES: dict[str, ExperimentConfig] = {
+    "tiny": ExperimentConfig(epoch_length=60, num_resources=12,
+                             num_profiles=40, intensity=8.0, budget=1,
+                             window=0, grouping="indexed",
+                             repetitions=1, seed=1234),
+    "target": ExperimentConfig(epoch_length=200, num_resources=50,
+                               num_profiles=240, intensity=12.0,
+                               budget=1, window=0, grouping="indexed",
+                               repetitions=1, seed=20080407),
+}
+
+
+def _identical(left, right) -> bool:
+    return (list(left.schedule.probes()) == list(right.schedule.probes())
+            and left.report.per_profile == right.report.per_profile
+            and left.report.per_rank == right.report.per_rank
+            and left.expired == right.expired
+            and left.extras == right.extras)
+
+
+def bench_engine_churn(scale: str, rounds: int = 3) -> dict:
+    """Median incremental vs. per-event-rebuild engine wall time."""
+    config = ENGINE_SCALES[scale]
+    initial, plan, epoch = build_churn_workload(config)
+    budget = BudgetVector(config.budget)
+
+    def run_mode(mode: str) -> tuple[float, object]:
+        policy, preemptive = parse_policy_spec(config.policy)
+        started = time.perf_counter()
+        result = run_churned(initial, epoch, budget, policy, plan=plan,
+                             preemptive=preemptive, mode=mode)
+        return time.perf_counter() - started, result
+
+    _, reference = run_mode("incremental")  # warm-up, outside timing
+    inc_times: list[float] = []
+    reb_times: list[float] = []
+    for _ in range(rounds):
+        seconds, inc = run_mode("incremental")
+        inc_times.append(seconds)
+        if not _identical(inc, reference):
+            raise AssertionError("incremental run diverged across rounds")
+        seconds, reb = run_mode("rebuild")
+        reb_times.append(seconds)
+        if not _identical(inc, reb):
+            raise AssertionError(
+                "rebuild mode diverged from the incremental engine")
+    inc_s = statistics.median(inc_times)
+    reb_s = statistics.median(reb_times)
+    return {
+        "config": asdict(config),
+        "events": len(plan),
+        "initial_profiles": len(initial),
+        "total_tintervals": reference.report.total,
+        "gc": reference.report.gc,
+        "probes_used": reference.probes_used,
+        "dropped": reference.extras.get("dropped", 0.0),
+        "incremental_s": inc_s,
+        "rebuild_s": reb_s,
+        "speedup": reb_s / inc_s,
+    }
+
+
+def bench_offline_churn(scale: str, rounds: int = 3) -> dict:
+    """Incremental adjacency + live-assigner diffing vs. per-event
+    from-scratch conflict rebuilds (both ending in one solve)."""
+    config = OFFLINE_SCALES[scale]
+    _trace, profiles = make_instance(config, 0)
+    plist = list(profiles)
+    # Churn script: every profile registers one by one, then every
+    # second one cancels — n + n/2 structure-invalidating events.
+    removals = list(range(0, len(plist), 2))
+
+    def run_incremental() -> tuple[float, object]:
+        clear_demand_cache()
+        started = time.perf_counter()
+        inc = IncrementalLocalRatio(config.epoch, config.budget_vector,
+                                    use_lp=True)
+        for profile in plist:
+            inc.add_profile(profile)
+        for profile_id in removals:
+            inc.remove_profile(profile_id)
+        result = inc.resolve()
+        return time.perf_counter() - started, result
+
+    def run_rebuild() -> tuple[float, object]:
+        clear_demand_cache()
+        started = time.perf_counter()
+        live: dict[int, object] = {}
+        for index, profile in enumerate(plist):
+            live[index] = profile
+            snapshot = ProfileSet([live[key] for key in sorted(live)])
+            unit_conflict_adjacency(snapshot, config.budget_vector)
+        for profile_id in removals:
+            del live[profile_id]
+            snapshot = ProfileSet([live[key] for key in sorted(live)])
+            unit_conflict_adjacency(snapshot, config.budget_vector)
+        solver = LocalRatioApproximation(use_lp=True, engine="fast")
+        result = solver.solve(
+            ProfileSet([live[key] for key in sorted(live)]),
+            config.epoch, config.budget_vector)
+        return time.perf_counter() - started, result
+
+    _, reference = run_incremental()  # warm-up
+    inc_times: list[float] = []
+    reb_times: list[float] = []
+    for _ in range(rounds):
+        seconds, inc = run_incremental()
+        inc_times.append(seconds)
+        seconds, reb = run_rebuild()
+        reb_times.append(seconds)
+        if list(inc.schedule.probes()) != list(reb.schedule.probes()):
+            raise AssertionError(
+                "incremental offline schedule diverged from the "
+                "from-scratch solve")
+        if (inc.report.captured != reb.report.captured
+                or inc.report.per_rank != reb.report.per_rank):
+            raise AssertionError(
+                "incremental offline accounting diverged from the "
+                "from-scratch solve")
+    inc_s = statistics.median(inc_times)
+    reb_s = statistics.median(reb_times)
+    return {
+        "config": asdict(config),
+        "churn_events": len(plist) + len(removals),
+        "accepted": reference.extras["accepted"],
+        "candidates": reference.extras["candidates"],
+        "incremental_s": inc_s,
+        "rebuild_s": reb_s,
+        "speedup": reb_s / inc_s,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark incremental live churn against per-event "
+                    "from-scratch rebuilds, writing BENCH_churn.json")
+    parser.add_argument("--scales", default="tiny,target",
+                        help="comma-separated scales to measure "
+                             f"(available: {','.join(ENGINE_SCALES)})")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="timing rounds per measurement (median wins)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI smoke mode: tiny scale only, 5 rounds")
+    parser.add_argument("--output", default="BENCH_churn.json",
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        scales = ["tiny"]
+        rounds = 5
+    else:
+        scales = [scale.strip() for scale in args.scales.split(",")
+                  if scale.strip()]
+        rounds = args.rounds
+    report = {
+        **provenance_header("bench_churn.py"),
+        "rounds": rounds,
+        "scales": {},
+    }
+    for scale in scales:
+        print(f"[bench_churn] measuring scale {scale!r} ...",
+              file=sys.stderr)
+        engine = bench_engine_churn(scale, rounds=rounds)
+        offline = bench_offline_churn(scale, rounds=rounds)
+        report["scales"][scale] = {"engine": engine, "offline": offline}
+        print(f"[bench_churn]   engine: {engine['speedup']:.2f}x over "
+              f"rebuild ({engine['incremental_s'] * 1e3:.1f}ms vs "
+              f"{engine['rebuild_s'] * 1e3:.1f}ms, "
+              f"{engine['events']} events)", file=sys.stderr)
+        print(f"[bench_churn]   offline: {offline['speedup']:.2f}x over "
+              f"rebuild ({offline['incremental_s'] * 1e3:.1f}ms vs "
+              f"{offline['rebuild_s'] * 1e3:.1f}ms, "
+              f"{offline['churn_events']} events)", file=sys.stderr)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"[bench_churn] wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Qualitative pytest benches (collected when pytest targets benchmarks/).
+# ---------------------------------------------------------------------------
 
 
 def bench_churn_arrival_spread(benchmark, capsys):
+    from benchmarks.conftest import print_block
+    from repro.experiments.reporting import render_table
+
     spreads = [0.0, 0.2, 0.4, 0.6, 0.8]
 
     def run_sweep():
@@ -43,6 +293,9 @@ def bench_churn_arrival_spread(benchmark, capsys):
 
 
 def bench_churn_leavers(benchmark, capsys):
+    from benchmarks.conftest import print_block
+    from repro.experiments.reporting import render_table
+
     def run_pair():
         stay = run_churn(ChurnConfig(join_spread=0.4))
         churn = run_churn(ChurnConfig(join_spread=0.4,
@@ -59,3 +312,7 @@ def bench_churn_leavers(benchmark, capsys):
         title="Churn — leavers"))
     assert churn.dropped > 0
     assert stay.dropped == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,10 +16,12 @@ import sys
 from typing import Callable
 
 from repro.experiments import (
+    ChurnSweep,
     FederationSweep,
     FigurePair,
     RunOutcome,
     SweepResult,
+    churn_sweep,
     fault_sweep,
     federation_sweep,
     figure3,
@@ -43,6 +45,7 @@ _EXPERIMENTS: dict[str, Callable[[str], object]] = {
     "fig6": figure6,
     "fig7": figure7,
     "fig8": figure8,
+    "churn": churn_sweep,
     "faults": fault_sweep,
     "federation": federation_sweep,
     "offline": offline_comparison,
@@ -123,8 +126,37 @@ def _print_federation(result: FederationSweep, as_csv: bool) -> None:
         title="federation — configuration"))
 
 
+def _print_churn(result: ChurnSweep, as_csv: bool) -> None:
+    rows = [
+        [f"spread={row.join_spread:.1f}"
+         + (f" leave={row.leave_probability:.1f}"
+            if row.leave_probability else ""),
+         row.completeness, row.mean_client_completeness, row.fairness,
+         row.completed, row.expired, row.dropped, row.probes_used,
+         row.runtime_seconds]
+        for row in result.rows
+    ]
+    if as_csv:
+        print(f"# churn ({result.policy}, engine={result.engine})")
+        print("scenario,completeness,mean_client_completeness,fairness,"
+              "completed,expired,dropped,probes_used,runtime_s")
+        for (label, gc, mean_gc, fairness, completed, expired, dropped,
+             probes, runtime) in rows:
+            print(f"{label},{gc:.6f},{mean_gc:.6f},{fairness:.6f},"
+                  f"{completed},{expired},{dropped},{probes},"
+                  f"{runtime:.6f}")
+        return
+    print(render_table(
+        ["scenario", "completeness", "client mean", "fairness",
+         "completed", "expired", "dropped", "probes", "runtime (s)"],
+        rows, title=f"churn — {result.policy} "
+                    f"(engine={result.engine})"))
+
+
 def _print_result(name: str, result: object, as_csv: bool) -> None:
-    if isinstance(result, FederationSweep):
+    if isinstance(result, ChurnSweep):
+        _print_churn(result, as_csv)
+    elif isinstance(result, FederationSweep):
         _print_federation(result, as_csv)
     elif isinstance(result, RunOutcome):
         _print_run_outcome(name, result, as_csv)
@@ -154,7 +186,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="which table/figure to run ('all' runs everything; "
              "'stats' prints baseline instance statistics; 'faults' "
              "sweeps origin-server failure rates for the "
-             "graceful-degradation curves; 'federation' sweeps proxy "
+             "graceful-degradation curves; 'churn' sweeps client "
+             "arrival spread and churn-out on the live-churn engine; "
+             "'federation' sweeps proxy "
              "shard counts against the monolith engine; 'offline' "
              "compares the offline solvers in the P^[1] regime; "
              "'serve' starts the "
@@ -179,14 +213,16 @@ def build_parser() -> argparse.ArgumentParser:
              "serial path",
     )
     parser.add_argument(
-        "--engine", choices=["fast", "batch", "reference"],
+        "--engine", choices=["fast", "batch", "reference", "rebuild"],
         default=None,
         help="simulation engine: 'fast' runs one combination at a "
              "time, 'batch' groups cells sharing generated instances "
              "into columnar mega blocks (identical results), "
-             "'reference' is the executable specification; by default "
-             "each experiment keeps its own engine default ('fast' for "
-             "the figures, 'batch' for the fault sweeps)",
+             "'reference' is the executable specification, 'rebuild' "
+             "(churn only) reruns the incremental churn plan with "
+             "from-scratch structure rebuilds after every event; by "
+             "default each experiment keeps its own engine default "
+             "('fast' for the figures, 'batch' for the fault sweeps)",
     )
     parser.add_argument(
         "--output", metavar="DIR", default=None,

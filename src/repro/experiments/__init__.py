@@ -3,7 +3,10 @@
 from repro.experiments.churn import (
     ChurnConfig,
     ChurnResult,
+    ChurnSweep,
+    ChurnSweepRow,
     ClientOutcome,
+    churn_sweep,
     jain_index,
     run_churn,
 )
@@ -61,7 +64,10 @@ __all__ = [
     "run_fault_setting",
     "ChurnConfig",
     "ChurnResult",
+    "ChurnSweep",
+    "ChurnSweepRow",
     "ClientOutcome",
+    "churn_sweep",
     "ExperimentConfig",
     "jain_index",
     "run_churn",

@@ -1,30 +1,60 @@
-"""Client-churn experiments on the live runtime.
+"""Client-churn experiments on the live-churn fast engine.
 
 The paper's evaluation registers all profiles up front; real proxies see
-clients come and go. This experiment drives the
-:class:`~repro.runtime.proxy.MonitoringProxy` with clients joining over
-the epoch (and optionally leaving), measuring how arrival spread affects
-delivered completeness and cross-client fairness.
+clients come and go. This experiment plays a churn scenario — clients
+joining over the epoch (and optionally leaving at the three-quarter
+mark) — and measures how arrival spread affects delivered completeness
+and cross-client fairness.
+
+Three engines drive the same workload (``ChurnConfig.engine``):
+
+* ``"fast"`` (default) — the event-indexed
+  :class:`~repro.simulation.engine.FastProxySimulator` with the client
+  plan lowered to a :class:`~repro.simulation.churn.ChurnPlan`;
+  registrations and cancellations splice into the live structures in
+  O(log n + touched) per event.
+* ``"rebuild"`` — the same plan, but every churn event is followed by a
+  from-scratch
+  :meth:`~repro.simulation.engine.FastProxySimulator.rebuild_structures`
+  (identical results by construction; ``benchmarks/bench_churn.py``
+  tracks the speedup between the two).
+* ``"proxy"`` — the original reference path through the live
+  :class:`~repro.runtime.proxy.MonitoringProxy`, kept as the executable
+  specification of the client-facing semantics.
+
+All client profiles are generated up front through the vectorized
+fast-gen path (one seeded generator per client, independent of join
+timing), so the engines consume byte-identical workloads.
 """
 
 from __future__ import annotations
 
 import statistics
-from dataclasses import dataclass
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.core.budget import BudgetVector
 from repro.core.errors import WorkloadError
+from repro.core.intervals import TInterval
+from repro.core.profile import Profile, ProfileSet
 from repro.core.timeline import Epoch
+from repro.offline.conflict import clear_demand_cache
 from repro.online.registry import parse_policy_spec
 from repro.runtime.proxy import MonitoringProxy
 from repro.runtime.server import OriginServer
+from repro.simulation.churn import ChurnEvent, ChurnPlan, run_churned
 from repro.traces.models import PoissonUpdateModel
 from repro.workloads.generator import GeneratorConfig, ProfileGenerator
 
-__all__ = ["ChurnConfig", "ClientOutcome", "ChurnResult", "run_churn",
-           "jain_index"]
+__all__ = ["ChurnConfig", "ClientOutcome", "ChurnResult", "ChurnSweep",
+           "ChurnSweepRow", "build_churn_workload", "run_churn",
+           "churn_sweep", "jain_index"]
+
+#: Engines accepted by :attr:`ChurnConfig.engine`.
+CHURN_ENGINES = ("fast", "rebuild", "proxy")
 
 
 def jain_index(values: list[float]) -> float:
@@ -65,6 +95,9 @@ class ChurnConfig:
         Policy spec, e.g. ``"MRSF(P)"``.
     budget, max_rank, window, seed:
         As in the main experiments.
+    engine:
+        ``"fast"`` (incremental engine, default), ``"rebuild"``
+        (from-scratch referee) or ``"proxy"`` (live reference proxy).
     """
 
     epoch_length: int = 400
@@ -79,6 +112,7 @@ class ChurnConfig:
     max_rank: int = 3
     window: int = 10
     seed: int = 4242
+    engine: str = "fast"
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.join_spread <= 1.0:
@@ -90,6 +124,10 @@ class ChurnConfig:
                 f"{self.leave_probability}")
         if self.num_clients < 1:
             raise WorkloadError("num_clients must be >= 1")
+        if self.engine not in CHURN_ENGINES:
+            raise WorkloadError(
+                f"engine must be one of {CHURN_ENGINES}, "
+                f"got {self.engine!r}")
 
 
 @dataclass(frozen=True, slots=True)
@@ -119,6 +157,7 @@ class ChurnResult:
     expired: int
     dropped: int
     probes_used: int
+    engine: str = "fast"
 
     @property
     def overall_completeness(self) -> float:
@@ -139,20 +178,44 @@ class ChurnResult:
                                 for client in self.clients)
 
 
-def run_churn(config: ChurnConfig) -> ChurnResult:
-    """Execute one churn scenario end to end."""
+def _client_profiles(config: ChurnConfig, trace, epoch: Epoch,
+                     index: int, client_name: str) -> list[Profile]:
+    """One client's (bare, unattached) profiles, timing-independent.
+
+    Each client gets its own seeded generator on the vectorized
+    fast-gen path, so the workload is a pure function of the config —
+    identical whether the client joins at chronon 0 or mid-epoch, and
+    identical across the three engines.
+    """
+    generator = ProfileGenerator(GeneratorConfig(
+        num_profiles=config.profiles_per_client,
+        max_rank=config.max_rank,
+        window=config.window,
+        grouping="overlap",
+        seed=config.seed + 101 * (index + 1),
+    ), fast=True)
+    profiles = generator.generate(
+        trace, epoch, resource_ids=list(range(config.num_resources)))
+    bare = []
+    for profile in profiles:
+        candidate = Profile([TInterval(eta.eis) for eta in profile],
+                            name=f"{client_name}/{profile.name}")
+        if len(candidate) == 0:
+            continue  # the generator can produce empty profiles
+        bare.append(candidate)
+    return bare
+
+
+def _workload(config: ChurnConfig):
+    """Derive the full churn scenario from the config (pure function)."""
     rng = np.random.default_rng(config.seed)
     epoch = Epoch(config.epoch_length)
     trace = PoissonUpdateModel(config.intensity,
                                seed=config.seed).generate(
         range(config.num_resources), epoch)
 
-    policy, preemptive = parse_policy_spec(config.policy)
-    proxy = MonitoringProxy(OriginServer(trace), epoch,
-                            BudgetVector(config.budget), policy,
-                            preemptive=preemptive)
-
     # Arrival plan: chronon each client joins (0 = before the run).
+    # Sorted, so client index order is also join-chronon order.
     horizon = int(config.join_spread * config.epoch_length)
     joins = sorted(int(rng.integers(0, horizon + 1))
                    for _ in range(config.num_clients))
@@ -160,35 +223,144 @@ def run_churn(config: ChurnConfig) -> ChurnResult:
     leavers = [bool(rng.random() < config.leave_probability)
                for _ in range(config.num_clients)]
 
-    clients = []
-    registrations: list[list[int]] = []
-    counts: list[int] = []
-    for index in range(config.num_clients):
-        clients.append(proxy.register_client(f"client-{index}"))
-        registrations.append([])
-        counts.append(0)
+    names = [f"client-{index}" for index in range(config.num_clients)]
+    profiles_by_client = [
+        _client_profiles(config, trace, epoch, index, names[index])
+        for index in range(config.num_clients)
+    ]
+    counts = [sum(len(profile) for profile in client_profiles)
+              for client_profiles in profiles_by_client]
+    return (epoch, trace, joins, leave_at, leavers, names,
+            profiles_by_client, counts)
+
+
+def run_churn(config: ChurnConfig) -> ChurnResult:
+    """Execute one churn scenario end to end."""
+    (epoch, trace, joins, leave_at, leavers, names,
+     profiles_by_client, counts) = _workload(config)
+    if config.engine == "proxy":
+        return _run_churn_proxy(config, epoch, trace, joins, leave_at,
+                                leavers, names, profiles_by_client,
+                                counts)
+    return _run_churn_engine(config, epoch, trace, joins, leave_at,
+                             leavers, names, profiles_by_client, counts)
+
+
+def build_churn_workload(config: ChurnConfig) \
+        -> tuple[ProfileSet, ChurnPlan, Epoch]:
+    """The engine-path workload of ``config``: initial set + plan.
+
+    Benchmarks use this to generate the (expensive, engine-independent)
+    instance once and time only the engine runs.
+    """
+    (epoch, _trace, joins, leave_at, leavers, _names,
+     profiles_by_client, _counts) = _workload(config)
+    initial, events, _ids, _marks = _engine_plan(
+        config, epoch, joins, leave_at, leavers, profiles_by_client)
+    return ProfileSet(initial), ChurnPlan(tuple(events)), epoch
+
+
+def _engine_plan(config: ChurnConfig, epoch: Epoch, joins: list[int],
+                 leave_at: int, leavers: list[bool],
+                 profiles_by_client: list[list[Profile]]):
+    """Lower the client scenario to (initial set, churn events).
+
+    Profile ids are predicted: the initial set takes 0..n-1 in
+    registration order, churn adds continue sequentially in plan
+    (= application) order — exactly the engine's assignment rule.
+    """
+    ids_by_client: list[list[int]] = [[] for _ in profiles_by_client]
+    initial: list[Profile] = []
+    next_id = 0
+    for index, client_profiles in enumerate(profiles_by_client):
+        if joins[index] == 0:
+            for profile in client_profiles:
+                initial.append(profile)
+                ids_by_client[index].append(next_id)
+                next_id += 1
+
+    events: list[ChurnEvent] = []
+    # joins is sorted, so appending adds in client order puts the plan
+    # in ascending-chronon (= id assignment) order automatically.
+    for index, client_profiles in enumerate(profiles_by_client):
+        if joins[index] > 0:
+            for profile in client_profiles:
+                events.append(ChurnEvent.add(joins[index], profile))
+                ids_by_client[index].append(next_id)
+                next_id += 1
+    # Cancellations append after the adds: at the leave chronon the
+    # proxy registers joiners first, then processes leavers — same-
+    # chronon plan order reproduces that. A leaver that joins *after*
+    # leave_at keeps its mark but nothing to unregister (the reference
+    # proxy's behaviour, preserved verbatim).
+    left_marks: list[int | None] = [None] * config.num_clients
+    if leave_at >= epoch.first:
+        for index, leaving in enumerate(leavers):
+            if not leaving:
+                continue
+            left_marks[index] = leave_at
+            if joins[index] <= leave_at:
+                for profile_id in ids_by_client[index]:
+                    events.append(
+                        ChurnEvent.remove(leave_at, profile_id))
+    return initial, events, ids_by_client, left_marks
+
+
+def _run_churn_engine(config: ChurnConfig, epoch: Epoch, trace,
+                      joins: list[int], leave_at: int,
+                      leavers: list[bool], names: list[str],
+                      profiles_by_client: list[list[Profile]],
+                      counts: list[int]) -> ChurnResult:
+    """Fast-engine path: the client plan lowered to a ChurnPlan."""
+    policy, preemptive = parse_policy_spec(config.policy)
+    initial, events, ids_by_client, left_marks = _engine_plan(
+        config, epoch, joins, leave_at, leavers, profiles_by_client)
+
+    result = run_churned(
+        ProfileSet(initial), epoch, BudgetVector(config.budget), policy,
+        plan=ChurnPlan(tuple(events)), preemptive=preemptive,
+        mode="rebuild" if config.engine == "rebuild" else "incremental")
+
+    per_profile = result.report.per_profile
+    outcomes = tuple(
+        ClientOutcome(
+            name=names[index],
+            joined_at=joins[index],
+            left_at=left_marks[index],
+            registered=counts[index],
+            notified=sum(per_profile[profile_id][0]
+                         for profile_id in ids_by_client[index]),
+        )
+        for index in range(config.num_clients)
+    )
+    return ChurnResult(
+        clients=outcomes,
+        completed=result.report.captured,
+        expired=result.expired,
+        dropped=int(result.extras.get("dropped", 0.0)),
+        probes_used=result.probes_used,
+        engine=config.engine,
+    )
+
+
+def _run_churn_proxy(config: ChurnConfig, epoch: Epoch, trace,
+                     joins: list[int], leave_at: int,
+                     leavers: list[bool], names: list[str],
+                     profiles_by_client: list[list[Profile]],
+                     counts: list[int]) -> ChurnResult:
+    """Reference path through the live MonitoringProxy."""
+    policy, preemptive = parse_policy_spec(config.policy)
+    proxy = MonitoringProxy(OriginServer(trace), epoch,
+                            BudgetVector(config.budget), policy,
+                            preemptive=preemptive)
+
+    clients = [proxy.register_client(name) for name in names]
+    registrations: list[list[int]] = [[] for _ in names]
 
     def register(index: int) -> None:
-        # Each client brings its own (seeded) interests.
-        generator = ProfileGenerator(GeneratorConfig(
-            num_profiles=config.profiles_per_client,
-            max_rank=config.max_rank,
-            window=config.window,
-            grouping="overlap",
-            seed=config.seed + 101 * (index + 1),
-        ))
-        profiles = generator.generate(
-            trace, epoch, resource_ids=list(range(config.num_resources)))
-        for profile in profiles:
-            from repro.core.profile import Profile
-            from repro.core.intervals import TInterval
-            bare = Profile([TInterval(eta.eis) for eta in profile],
-                           name=f"{clients[index].name}/{profile.name}")
-            if len(bare) == 0:
-                continue  # the generator can produce empty profiles
-            counts[index] += len(bare)
+        for profile in profiles_by_client[index]:
             registrations[index].append(
-                proxy.register_profile(clients[index], bare))
+                proxy.register_profile(clients[index], profile))
 
     # Join at chronon 0 means "before the run starts".
     pending = list(range(config.num_clients))
@@ -228,4 +400,114 @@ def run_churn(config: ChurnConfig) -> ChurnResult:
         expired=stats.expired,
         dropped=stats.dropped,
         probes_used=stats.probes_used,
+        engine="proxy",
     )
+
+
+# ----------------------------------------------------------------------
+# The churn sweep experiment (CLI: repro-experiments churn)
+# ----------------------------------------------------------------------
+
+#: Join spreads swept (leave_probability 0), plus one churn-out row.
+SWEEP_SPREADS: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8)
+
+#: Per-scale baseline churn configs, mirroring ``config.SCALES``.
+CHURN_SCALES: dict[str, ChurnConfig] = {
+    "paper": ChurnConfig(epoch_length=500, num_resources=100,
+                         num_clients=16, profiles_per_client=12,
+                         budget=2),
+    "default": ChurnConfig(),
+    "smoke": ChurnConfig(epoch_length=80, num_resources=16,
+                         intensity=8.0, num_clients=3,
+                         profiles_per_client=3, window=6),
+}
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnSweepRow:
+    """One churn scenario's aggregate outcome."""
+
+    join_spread: float
+    leave_probability: float
+    completeness: float
+    mean_client_completeness: float
+    fairness: float
+    completed: int
+    expired: int
+    dropped: int
+    probes_used: int
+    runtime_seconds: float
+
+
+@dataclass(frozen=True)
+class ChurnSweep:
+    """The churn experiment: one row per swept scenario."""
+
+    config: ChurnConfig
+    policy: str
+    engine: str
+    rows: tuple[ChurnSweepRow, ...]
+
+
+def _timed_churn(config: ChurnConfig) -> tuple[ChurnResult, float]:
+    started = time.perf_counter()
+    result = run_churn(config)
+    return result, time.perf_counter() - started
+
+
+def _map_engine(engine: str | None) -> str:
+    """CLI engine names -> churn engines.
+
+    ``batch`` has no churn lowering (the columnar engine is epoch-
+    static), so it rides the fast incremental path; ``reference`` maps
+    to the live proxy.
+    """
+    if engine is None:
+        return "fast"
+    return {"fast": "fast", "batch": "fast", "reference": "proxy",
+            "rebuild": "rebuild"}.get(engine, engine)
+
+
+def churn_sweep(scale: str = "default",
+                workers: int | None = None,
+                engine: str | None = None) -> ChurnSweep:
+    """Completeness/fairness vs. arrival spread, plus a churn-out row.
+
+    Sweeps ``join_spread`` over :data:`SWEEP_SPREADS` with no leavers,
+    then adds one scenario with late arrivals *and* 50% churn-out.
+    ``workers=N`` fans scenarios over a process pool (results identical
+    to serial — each scenario is an independent seeded run).
+    """
+    base = CHURN_SCALES[scale]
+    churn_engine = _map_engine(engine)
+    configs = [replace(base, join_spread=spread, engine=churn_engine)
+               for spread in SWEEP_SPREADS]
+    configs.append(replace(base, join_spread=0.6, leave_probability=0.5,
+                           engine=churn_engine))
+
+    if workers:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(_timed_churn, configs))
+    else:
+        outcomes = [_timed_churn(config) for config in configs]
+
+    rows = tuple(
+        ChurnSweepRow(
+            join_spread=config.join_spread,
+            leave_probability=config.leave_probability,
+            completeness=result.overall_completeness,
+            mean_client_completeness=result.mean_client_completeness,
+            fairness=result.fairness,
+            completed=result.completed,
+            expired=result.expired,
+            dropped=result.dropped,
+            probes_used=result.probes_used,
+            runtime_seconds=seconds,
+        )
+        for config, (result, seconds) in zip(configs, outcomes)
+    )
+    # Epoch teardown: the sweep is done with these t-intervals; release
+    # the shared demand-map cache entries they may have populated.
+    clear_demand_cache()
+    return ChurnSweep(config=base, policy=base.policy,
+                      engine=churn_engine, rows=rows)

@@ -7,15 +7,46 @@ scraped terminal output.
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from pathlib import Path
 
+from repro.experiments.churn import ChurnSweep
 from repro.experiments.federation import FederationSweep
 from repro.experiments.figures import FigurePair
 from repro.experiments.harness import RunOutcome, SweepResult
 from repro.experiments.reporting import render_table, sweep_csv, sweep_table
 
-__all__ = ["export_federation", "export_result", "export_run_outcome",
-           "export_sweep"]
+__all__ = ["export_churn", "export_federation", "export_result",
+           "export_run_outcome", "export_sweep"]
+
+
+def export_churn(result: ChurnSweep, directory: str | Path,
+                 stem: str) -> list[Path]:
+    """Write the churn scenario series CSV plus a config dump."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    lines = ["join_spread,leave_probability,completeness,"
+             "mean_client_completeness,fairness,completed,expired,"
+             "dropped,probes_used,runtime_s"]
+    for row in result.rows:
+        lines.append(
+            f"{row.join_spread:.2f},{row.leave_probability:.2f},"
+            f"{row.completeness:.6f},"
+            f"{row.mean_client_completeness:.6f},{row.fairness:.6f},"
+            f"{row.completed},{row.expired},{row.dropped},"
+            f"{row.probes_used},{row.runtime_seconds:.6f}")
+    csv_path = directory / f"{stem}.csv"
+    csv_path.write_text("\n".join(lines) + "\n")
+    config_path = directory / f"{stem}_config.txt"
+    config_rows = [("engine", result.engine)] + [
+        (field, str(value))
+        for field, value in asdict(result.config).items()
+        if field not in ("join_spread", "leave_probability")
+    ]
+    config_path.write_text(render_table(
+        ["parameter", "value"], config_rows,
+        title=f"{stem} configuration") + "\n")
+    return [csv_path, config_path]
 
 
 def export_federation(result: FederationSweep, directory: str | Path,
@@ -90,6 +121,8 @@ def export_run_outcome(outcome: RunOutcome, directory: str | Path,
 def export_result(name: str, result: object,
                   directory: str | Path) -> list[Path]:
     """Dispatch on the result type (RunOutcome / SweepResult / pair)."""
+    if isinstance(result, ChurnSweep):
+        return export_churn(result, directory, name)
     if isinstance(result, FederationSweep):
         return export_federation(result, directory, name)
     if isinstance(result, RunOutcome):

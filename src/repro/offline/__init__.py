@@ -1,6 +1,7 @@
 """Offline solvers: exact enumeration, MILP, and the Local-Ratio scheme."""
 
 from repro.offline.conflict import (
+    clear_demand_cache,
     demand_map,
     overlap_adjacency,
     overlap_graph,
@@ -10,7 +11,11 @@ from repro.offline.conflict import (
 )
 from repro.offline.enumeration import EnumerationSolver
 from repro.offline.greedy import GreedyOfflineSolver
-from repro.offline.local_ratio import LocalRatioApproximation
+from repro.offline.incremental import IncrementalLocalRatio
+from repro.offline.local_ratio import (
+    LocalRatioApproximation,
+    fractional_guidance,
+)
 from repro.offline.matching import ProbeAssigner
 from repro.offline.milp import MILPSolver
 from repro.offline.transform import UnitWidthExpansion, expand_to_unit_width
@@ -18,12 +23,15 @@ from repro.offline.transform import UnitWidthExpansion, expand_to_unit_width
 __all__ = [
     "EnumerationSolver",
     "GreedyOfflineSolver",
+    "IncrementalLocalRatio",
     "LocalRatioApproximation",
     "MILPSolver",
     "ProbeAssigner",
     "UnitWidthExpansion",
+    "clear_demand_cache",
     "demand_map",
     "expand_to_unit_width",
+    "fractional_guidance",
     "overlap_adjacency",
     "overlap_graph",
     "self_infeasible",

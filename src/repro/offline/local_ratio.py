@@ -76,7 +76,7 @@ from repro.offline.conflict import (
 from repro.offline.matching import ProbeAssigner
 from repro.simulation.result import SimulationResult
 
-__all__ = ["LocalRatioApproximation"]
+__all__ = ["LocalRatioApproximation", "fractional_guidance"]
 
 TKey = tuple[int, int]
 
@@ -144,8 +144,10 @@ class LocalRatioApproximation:
         # repeats cheap, but hashing EI tuples is not free on hot paths).
         demands = ({key: demand_map(etas[key]) for key in keys}
                    if is_unit else {})
-        guidance = self._fractional_guidance(keys, etas, epoch, budget,
-                                             is_unit, demands)
+        guidance = fractional_guidance(
+            keys, etas, epoch, budget, is_unit, demands,
+            use_lp=self._use_lp,
+            max_lp_variables=self._max_lp_variables)
 
         if fast:
             stack = _decompose_fast(keys, etas, adjacency, guidance)
@@ -220,78 +222,83 @@ class LocalRatioApproximation:
             },
         )
 
-    # ------------------------------------------------------------------
-    # Step 2: fractional guidance
-    # ------------------------------------------------------------------
 
-    def _fractional_guidance(
-            self, keys: list[TKey], etas: dict[TKey, TInterval],
-            epoch: Epoch, budget: BudgetVector, is_unit: bool,
-            demands: dict[TKey, dict[int, frozenset[int]]],
-    ) -> dict[TKey, int]:
-        """Quantized LP guidance, shared verbatim by both engines.
+# ----------------------------------------------------------------------
+# Step 2: fractional guidance
+# ----------------------------------------------------------------------
 
-        The constraint matrix is assembled straight into COO triplet
-        arrays (one ``(row, col, load)`` per nonzero) and handed to
-        scipy as CSR; the row order — and therefore the solver's chosen
-        optimal vertex — is identical however the caller built the
-        conflict structure, which keeps the engines' guidance equal.
-        """
-        if not keys:
-            return {}
-        if not self._use_lp or len(keys) > self._max_lp_variables:
-            return {key: GUIDANCE_SCALE for key in keys}
 
-        rows: list[int] = []
-        cols: list[int] = []
-        vals: list[float] = []
-        capacities: list[float] = []
-        chronon_rows: dict[int, int] = {}
+def fractional_guidance(
+        keys: list[TKey], etas: dict[TKey, TInterval],
+        epoch: Epoch, budget: BudgetVector, is_unit: bool,
+        demands: dict[TKey, dict[int, frozenset[int]]],
+        use_lp: bool = True,
+        max_lp_variables: int = 50_000,
+) -> dict[TKey, int]:
+    """Quantized LP guidance, shared verbatim by every consumer.
 
-        def row_for(chronon: int) -> int:
-            existing = chronon_rows.get(chronon)
-            if existing is None:
-                existing = len(capacities)
-                chronon_rows[chronon] = existing
-                capacities.append(float(budget.at(chronon)))
-            return existing
+    The constraint matrix is assembled straight into COO triplet
+    arrays (one ``(row, col, load)`` per nonzero) and handed to
+    scipy as CSR; the row order — and therefore the solver's chosen
+    optimal vertex — is identical however the caller built the
+    conflict structure, which keeps both decomposition engines (and the
+    incremental solver's warm restarts) on equal guidance.
+    """
+    if not keys:
+        return {}
+    if not use_lp or len(keys) > max_lp_variables:
+        return {key: GUIDANCE_SCALE for key in keys}
 
-        for column, key in enumerate(keys):
-            eta = etas[key]
-            if is_unit:
-                for chronon, resources in sorted(
-                        demands[key].items()):
-                    rows.append(row_for(chronon))
-                    cols.append(column)
-                    vals.append(float(len(resources)))
-            else:
-                loads: dict[int, float] = {}
-                for ei in eta:
-                    smear = 1.0 / ei.width
-                    for chronon in range(max(1, ei.start),
-                                         min(epoch.last, ei.finish) + 1):
-                        loads[chronon] = loads.get(chronon, 0.0) + smear
-                for chronon in sorted(loads):
-                    rows.append(row_for(chronon))
-                    cols.append(column)
-                    vals.append(loads[chronon])
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    capacities: list[float] = []
+    chronon_rows: dict[int, int] = {}
 
-        if not capacities:
-            return {key: GUIDANCE_SCALE for key in keys}
-        matrix = sparse.csr_matrix(
-            (vals, (rows, cols)), shape=(len(capacities), len(keys)))
-        result = linprog(
-            c=-np.ones(len(keys)),  # maximize sum x
-            A_ub=matrix,
-            b_ub=np.array(capacities),
-            bounds=(0.0, 1.0),
-            method="highs",
-        )
-        if result.x is None:
-            return {key: GUIDANCE_SCALE for key in keys}
-        quantized = np.rint(np.asarray(result.x) * GUIDANCE_SCALE)
-        return {key: max(0, int(quantized[column]))
-                for column, key in enumerate(keys)}
+    def row_for(chronon: int) -> int:
+        existing = chronon_rows.get(chronon)
+        if existing is None:
+            existing = len(capacities)
+            chronon_rows[chronon] = existing
+            capacities.append(float(budget.at(chronon)))
+        return existing
+
+    for column, key in enumerate(keys):
+        eta = etas[key]
+        if is_unit:
+            for chronon, resources in sorted(
+                    demands[key].items()):
+                rows.append(row_for(chronon))
+                cols.append(column)
+                vals.append(float(len(resources)))
+        else:
+            loads: dict[int, float] = {}
+            for ei in eta:
+                smear = 1.0 / ei.width
+                for chronon in range(max(1, ei.start),
+                                     min(epoch.last, ei.finish) + 1):
+                    loads[chronon] = loads.get(chronon, 0.0) + smear
+            for chronon in sorted(loads):
+                rows.append(row_for(chronon))
+                cols.append(column)
+                vals.append(loads[chronon])
+
+    if not capacities:
+        return {key: GUIDANCE_SCALE for key in keys}
+    matrix = sparse.csr_matrix(
+        (vals, (rows, cols)), shape=(len(capacities), len(keys)))
+    result = linprog(
+        c=-np.ones(len(keys)),  # maximize sum x
+        A_ub=matrix,
+        b_ub=np.array(capacities),
+        bounds=(0.0, 1.0),
+        method="highs",
+    )
+    if result.x is None:
+        return {key: GUIDANCE_SCALE for key in keys}
+    quantized = np.rint(np.asarray(result.x) * GUIDANCE_SCALE)
+    return {key: max(0, int(quantized[column]))
+            for column, key in enumerate(keys)}
 
 
 # ----------------------------------------------------------------------

@@ -1,6 +1,7 @@
 """Simulation environment: the online proxy loop and result types."""
 
 from repro.simulation.batch import batch_kind, run_block
+from repro.simulation.churn import ChurnEvent, ChurnPlan, run_churned
 from repro.simulation.columnar import BatchUnsupported, ColumnarInstance
 from repro.simulation.engine import FastProxySimulator
 from repro.simulation.proxy import ProxySimulator, run_online
@@ -9,6 +10,8 @@ from repro.simulation.shard import FederatedResult, federated_run
 
 __all__ = [
     "BatchUnsupported",
+    "ChurnEvent",
+    "ChurnPlan",
     "ColumnarInstance",
     "FastProxySimulator",
     "FederatedResult",
@@ -17,5 +20,6 @@ __all__ = [
     "batch_kind",
     "federated_run",
     "run_block",
+    "run_churned",
     "run_online",
 ]

@@ -1,0 +1,120 @@
+"""Churn-event plans for the live-churn fast engine.
+
+A :class:`ChurnPlan` is an ordered list of :class:`ChurnEvent`\\ s —
+mid-epoch profile registrations and cancellations — applied by
+:meth:`FastProxySimulator.run(churn=...)
+<repro.simulation.engine.FastProxySimulator.run>` between chronons.
+Event semantics follow :class:`~repro.runtime.proxy.MonitoringProxy`:
+an event at ``chronon == T`` lands while the proxy clock reads ``T``
+(``T = 0`` means before the first chronon), so an added profile's
+t-intervals participate from chronon ``T + 1`` on.
+
+:func:`run_churned` is the one-call driver: it runs a full epoch with a
+plan under either the incremental engine path (``mode="incremental"``,
+O(log n + touched) per event) or the from-scratch referee
+(``mode="rebuild"``, every event followed by
+:meth:`~repro.simulation.engine.FastProxySimulator.rebuild_structures`).
+Both modes produce identical results — that identity is what the
+property suite :mod:`tests.properties.test_prop_churn_incremental`
+asserts, and what ``benchmarks/bench_churn.py`` times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.budget import BudgetVector
+from repro.core.errors import ModelError
+from repro.core.profile import Profile, ProfileSet
+from repro.core.timeline import Chronon, Epoch
+from repro.faults.breaker import CircuitBreaker, RetryConfig
+from repro.faults.model import FaultInjector, FaultSpec
+from repro.online.base import Policy, TIntervalState
+from repro.simulation.engine import FastProxySimulator
+from repro.simulation.result import SimulationResult
+
+__all__ = ["ChurnEvent", "ChurnPlan", "run_churned"]
+
+_MODES = ("incremental", "rebuild")
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnEvent:
+    """One mid-epoch registration ("add") or cancellation ("remove")."""
+
+    chronon: Chronon
+    action: str
+    profile: Profile | None = None
+    profile_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.chronon < 0:
+            raise ModelError(
+                f"churn chronon must be >= 0, got {self.chronon}")
+        if self.action == "add":
+            if self.profile is None:
+                raise ModelError("'add' events need a profile")
+        elif self.action == "remove":
+            if self.profile_id is None:
+                raise ModelError("'remove' events need a profile_id")
+        else:
+            raise ModelError(
+                f"churn action must be 'add' or 'remove', "
+                f"got {self.action!r}")
+
+    @classmethod
+    def add(cls, chronon: Chronon, profile: Profile) -> "ChurnEvent":
+        return cls(chronon=chronon, action="add", profile=profile)
+
+    @classmethod
+    def remove(cls, chronon: Chronon, profile_id: int) -> "ChurnEvent":
+        return cls(chronon=chronon, action="remove",
+                   profile_id=profile_id)
+
+
+@dataclass(frozen=True, slots=True)
+class ChurnPlan:
+    """An ordered sequence of churn events.
+
+    Same-chronon events apply in plan order — the order determines the
+    arrival sequence numbers the engine's tie-breaks use, exactly as
+    registration order does in the live proxy.
+    """
+
+    events: tuple[ChurnEvent, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+
+def run_churned(profiles: ProfileSet, epoch: Epoch,
+                budget: BudgetVector, policy: Policy,
+                plan=(), preemptive: bool = True,
+                mode: str = "incremental",
+                state_factory=TIntervalState,
+                faults: FaultSpec | FaultInjector | None = None,
+                retry: RetryConfig | None = None,
+                breaker: CircuitBreaker | None = None) -> SimulationResult:
+    """One full churned epoch on the fast engine.
+
+    ``profiles`` is the initial (chronon-0-registered) set; ``plan``
+    iterates churn events. ``mode="incremental"`` uses the O(log n)
+    event-splicing path, ``mode="rebuild"`` rebuilds the derived
+    structures from scratch after every event (the referee).
+    """
+    if mode not in _MODES:
+        raise ModelError(f"mode must be one of {_MODES}, got {mode!r}")
+    sim = FastProxySimulator(
+        profiles, epoch, budget, policy, preemptive=preemptive,
+        state_factory=state_factory, faults=faults, retry=retry,
+        breaker=breaker)
+    return sim.run(churn=plan, churn_rebuild=(mode == "rebuild"))

@@ -46,6 +46,22 @@ Custom ``state_factory`` states are supported under the two contracts the
 provided states satisfy: ``is_complete`` may flip (to True) only on
 ``mark_captured``, and ``is_expired`` may flip (to True) only when an
 uncaptured EI's deadline passes.
+
+**Live churn.** :meth:`FastProxySimulator.add_profile` and
+:meth:`~FastProxySimulator.remove_profile` register and cancel whole
+profiles *mid-epoch*: an insert splices each new EI's start/expiry events
+into the per-chronon event queues and (if already open) patches the
+per-resource candidate index through the existing dirty-set rescoring —
+O(log n + touched entries) per churn event, no rebuild. A remove retires
+the state's live index entries and freezes it out of future events.
+Arrival and accounting semantics mirror
+:class:`~repro.runtime.proxy.MonitoringProxy`: a profile registered at
+clock ``T`` participates from chronon ``T + 1``; a cancelled t-interval
+counts as *expired* if it was already doomed when cancelled (its missed
+deadline was observable), *dropped* otherwise. ``run(churn=...)`` applies
+a plan of such events between chronons; ``churn_rebuild=True`` instead
+calls :meth:`~FastProxySimulator.rebuild_structures` after every event —
+the from-scratch referee the incremental path is property-tested against.
 """
 
 from __future__ import annotations
@@ -56,7 +72,8 @@ from collections import defaultdict
 
 from repro.core.budget import BudgetVector
 from repro.core.completeness import CompletenessReport
-from repro.core.profile import ProfileSet
+from repro.core.errors import ModelError
+from repro.core.profile import Profile, ProfileSet
 from repro.core.schedule import Schedule
 from repro.core.timeline import Chronon, Epoch
 from repro.faults.breaker import CircuitBreaker, RetryConfig
@@ -84,6 +101,13 @@ from repro.simulation.result import SimulationResult
 
 __all__ = ["FastProxySimulator"]
 
+#: ``_FastState.removed`` markers. A state cancelled before any of its
+#: deadlines passed is *dropped*; one whose doom was already observable
+#: at cancel time is *expired* — the same split
+#: :meth:`MonitoringProxy._begin_step` makes for inactive states.
+_REMOVED_DROPPED = 1
+_REMOVED_EXPIRED = 2
+
 
 class _FastState:
     """Per-t-interval bookkeeping of the fast engine.
@@ -97,7 +121,7 @@ class _FastState:
     integers, so float arithmetic is exact).
     """
 
-    __slots__ = ("state", "seq", "arrival", "doomed",
+    __slots__ = ("state", "seq", "arrival", "doomed", "removed",
                  "medf_sum", "medf_started", "pid", "tid")
 
     def __init__(self, state: TIntervalState, seq: int,
@@ -106,6 +130,7 @@ class _FastState:
         self.seq = seq
         self.arrival = arrival
         self.doomed = False
+        self.removed = 0
         self.medf_sum = 0
         self.medf_started = 0
         # Tie-break identity, cached off the eta to keep the scoring
@@ -190,6 +215,12 @@ class FastProxySimulator:
         self._cache2: dict[int, tuple] = {}
         self._dirty: set[int] = set()
         self._fs_by_key: dict[tuple[int, int], _FastState] = {}
+
+        self._sees_doom = policy.level != EI_LEVEL
+        self._fault_aware = (self.injector is not None
+                             or self.breaker is not None
+                             or self.retry is not None)
+        self._begun = False
 
     # ------------------------------------------------------------------
     # Candidate index maintenance
@@ -446,12 +477,20 @@ class FastProxySimulator:
                 self._dirty_state_entries(self._fs_by_key[state.key])
 
     # ------------------------------------------------------------------
-    # Main loop
+    # Main loop: begin / advance / finish
     # ------------------------------------------------------------------
 
-    def run(self) -> SimulationResult:
-        """Execute the full epoch and return the run's result."""
-        started = time.perf_counter()
+    @property
+    def clock(self) -> Chronon:
+        """Last chronon advanced (0 before the first)."""
+        return self._clock
+
+    def begin(self) -> None:
+        """Build event queues and numbering; ready the chronon loop."""
+        if self._begun:
+            raise ModelError("FastProxySimulator.begin() called twice")
+        self._begun = True
+        self._started_at = time.perf_counter()
         last = self.epoch.last
 
         # Bucket states by arrival (clamped like the reference so that
@@ -474,6 +513,7 @@ class FastProxySimulator:
         expiry_events: dict[Chronon, list[tuple[_FastState, object]]] = \
             defaultdict(list)
         all_states: list[_FastState] = []
+        states_by_profile: dict[int, list[_FastState]] = defaultdict(list)
         seq = 0
         for arrival in sorted(buckets):
             for state in buckets[arrival]:
@@ -481,6 +521,7 @@ class FastProxySimulator:
                 seq += 1
                 all_states.append(fs)
                 self._fs_by_key[state.key] = fs
+                states_by_profile[state.eta.profile_id].append(fs)
                 for ei in state.eta:
                     fs.medf_sum += ei.finish
                     start = ei.start
@@ -491,124 +532,339 @@ class FastProxySimulator:
                     if ei.finish < last:
                         expiry_events[ei.finish + 1].append((fs, ei))
 
-        schedule = Schedule()
-        probes_failed = 0
-        retries = 0
-        sees_doom = self.policy.level != EI_LEVEL
-        fault_aware = (self.injector is not None
-                       or self.breaker is not None
-                       or self.retry is not None)
-        injector = self.injector
-        index = self._index
-        budget = self.budget
-        select = self._select_fast if self._fast_mode \
+        self._start_events = start_events
+        self._expiry_events = expiry_events
+        self._all_states = all_states
+        self._states_by_profile = states_by_profile
+        self._seq = seq
+        self._clock: Chronon = 0
+        self._next_profile_id = len(self.profiles)
+        self._extra_profiles: list[Profile] = []
+        self._churned = False
+        self._schedule = Schedule()
+        self._probes_failed = 0
+        self._retries = 0
+        self._select = self._select_fast if self._fast_mode \
             else self._select_generic
 
-        for chronon in self.epoch:
-            starts = start_events.get(chronon)
-            if starts is not None:
-                for fs, ei in starts:
-                    state = fs.state
-                    if state.captured[ei.ei_id]:
-                        continue
-                    fs.medf_started += 1
-                    if state.is_complete:
-                        continue  # quota-complete: no longer a candidate
-                    if sees_doom and fs.doomed:
-                        continue
-                    self._add_entry(fs, ei)
-            expiries = expiry_events.get(chronon)
-            if expiries is not None:
-                for fs, ei in expiries:
-                    state = fs.state
-                    if state.captured[ei.ei_id]:
-                        continue
-                    self._remove_entry(fs, ei)
-                    # An uncaptured EI just crossed its deadline — the
-                    # only instant at which a state can become doomed.
-                    if (not fs.doomed and not state.is_complete
-                            and state.is_expired(chronon)):
-                        fs.doomed = True
-                        if sees_doom:
-                            self._remove_state_entries(fs)
+    def advance(self, chronon: Chronon) -> None:
+        """Process one chronon: events, selection, probes, captures."""
+        self._clock = chronon
+        sees_doom = self._sees_doom
+        starts = self._start_events.get(chronon)
+        if starts is not None:
+            for fs, ei in starts:
+                if fs.removed:
+                    continue
+                state = fs.state
+                if state.captured[ei.ei_id]:
+                    continue
+                fs.medf_started += 1
+                if state.is_complete:
+                    continue  # quota-complete: no longer a candidate
+                if sees_doom and fs.doomed:
+                    continue
+                self._add_entry(fs, ei)
+        expiries = self._expiry_events.get(chronon)
+        if expiries is not None:
+            for fs, ei in expiries:
+                if fs.removed:
+                    continue
+                state = fs.state
+                if state.captured[ei.ei_id]:
+                    continue
+                self._remove_entry(fs, ei)
+                # An uncaptured EI just crossed its deadline — the
+                # only instant at which a state can become doomed.
+                if (not fs.doomed and not state.is_complete
+                        and state.is_expired(chronon)):
+                    fs.doomed = True
+                    if sees_doom:
+                        self._remove_state_entries(fs)
 
-            budget_now = budget.at(chronon)
-            if budget_now <= 0 or not index:
-                continue
-            decisions = select(chronon, budget_now)
-            if not decisions:
-                continue
+        budget_now = self.budget.at(chronon)
+        if budget_now <= 0 or not self._index:
+            return
+        decisions = self._select(chronon, budget_now)
+        if not decisions:
+            return
 
-            if not fault_aware:
-                for decision in decisions:
-                    schedule.add_probe(decision.resource_id, chronon)
-                self._apply_captures(
-                    [d.resource_id for d in decisions], chronon)
-                continue
-
-            if injector is not None:
-                injector.begin_chronon(chronon)
-            round_ = execute_probes(
-                decisions, chronon, budget_now, self._prober(chronon),
-                retry=self.retry, breaker=self.breaker)
-            probes_failed += round_.failures
-            retries += round_.retries
-            ok_rids = []
+        if not self._fault_aware:
             for decision in decisions:
-                # Selection commits the t-interval even when the request
-                # fails (budget was spent on it), like the reference.
-                self._commit(decision.selected.state)
-                if decision.resource_id in round_.outcomes:
-                    ok_rids.append(decision.resource_id)
-                    schedule.add_probe(decision.resource_id, chronon)
-            self._apply_captures(ok_rids, chronon)
+                self._schedule.add_probe(decision.resource_id, chronon)
+            self._apply_captures(
+                [d.resource_id for d in decisions], chronon)
+            return
 
-        # Final accounting. The reference counts each t-interval exactly
-        # once — captured when it completes, expired at doom time or at
-        # the end-of-epoch flush — which reduces to: captured iff
-        # complete when the epoch ends.
+        injector = self.injector
+        if injector is not None:
+            injector.begin_chronon(chronon)
+        round_ = execute_probes(
+            decisions, chronon, budget_now, self._prober(chronon),
+            retry=self.retry, breaker=self.breaker)
+        self._probes_failed += round_.failures
+        self._retries += round_.retries
+        ok_rids = []
+        for decision in decisions:
+            # Selection commits the t-interval even when the request
+            # fails (budget was spent on it), like the reference.
+            self._commit(decision.selected.state)
+            if decision.resource_id in round_.outcomes:
+                ok_rids.append(decision.resource_id)
+                self._schedule.add_probe(decision.resource_id, chronon)
+        self._apply_captures(ok_rids, chronon)
+
+    def finish(self) -> SimulationResult:
+        """Close the epoch: per-t-interval accounting and the result.
+
+        The reference counts each t-interval exactly once — captured
+        when it completes, expired at doom time or at the end-of-epoch
+        flush — which reduces to: captured iff complete when the epoch
+        ends. Cancelled states carry their classification in
+        ``fs.removed`` (expired if already doomed at cancel time,
+        dropped otherwise), mirroring the proxy's unregister accounting.
+        """
         captured_total = 0
         expired_total = 0
+        dropped_total = 0
         per_profile: dict[int, tuple[int, int]] = {
             profile.profile_id: (0, len(profile))
             for profile in self.profiles
         }
         per_rank: dict[int, tuple[int, int]] = {}
+        total_tintervals = self.profiles.total_tintervals
         for eta in self.profiles.tintervals():
             captured, total = per_rank.get(eta.size, (0, 0))
             per_rank[eta.size] = (captured, total + 1)
-        for fs in all_states:
+        for profile in self._extra_profiles:
+            per_profile[profile.profile_id] = (0, len(profile))
+            total_tintervals += len(profile)
+            for eta in profile:
+                captured, total = per_rank.get(eta.size, (0, 0))
+                per_rank[eta.size] = (captured, total + 1)
+        for fs in self._all_states:
             state = fs.state
-            hit = state.is_complete
-            if hit:
-                captured_total += 1
+            if fs.removed:
+                hit = False
+                if fs.removed == _REMOVED_EXPIRED:
+                    expired_total += 1
+                else:
+                    dropped_total += 1
             else:
-                expired_total += 1
+                hit = state.is_complete
+                if hit:
+                    captured_total += 1
+                else:
+                    expired_total += 1
             profile_id = state.eta.profile_id
             hits, total = per_profile.get(profile_id, (0, 0))
             per_profile[profile_id] = (hits + int(hit), total)
             rank_hits, rank_total = per_rank[state.eta.size]
             per_rank[state.eta.size] = (rank_hits + int(hit), rank_total)
 
-        runtime = time.perf_counter() - started
+        runtime = time.perf_counter() - self._started_at
         report = CompletenessReport(
             captured=captured_total,
-            total=self.profiles.total_tintervals,
+            total=total_tintervals,
             per_profile=per_profile,
             per_rank=per_rank,
         )
+        extras: dict[str, float] = {}
+        if self._churned:
+            extras = {
+                "dropped": float(dropped_total),
+                "added_profiles": float(len(self._extra_profiles)),
+            }
         return SimulationResult(
             label=self.policy.label(self.preemptive),
-            schedule=schedule,
+            schedule=self._schedule,
             report=report,
-            probes_used=len(schedule),
+            probes_used=len(self._schedule),
             expired=expired_total,
             runtime_seconds=runtime,
-            probes_failed=probes_failed,
-            retries=retries,
+            probes_failed=self._probes_failed,
+            retries=self._retries,
             resources_quarantined=(self.breaker.quarantined_count
                                    if self.breaker is not None else 0),
+            extras=extras,
         )
+
+    def run(self, churn=None, churn_rebuild: bool = False) \
+            -> SimulationResult:
+        """Execute the full epoch and return the run's result.
+
+        ``churn`` is an optional iterable of churn events (see
+        :mod:`repro.simulation.churn`), each with a ``chronon`` (the
+        clock value at which it lands: 0 = before the first chronon, T =
+        right after chronon T is advanced, matching the proxy's
+        register-at-clock-T semantics) and an ``action`` of ``"add"``
+        (``event.profile``) or ``"remove"`` (``event.profile_id``).
+        Events beyond ``epoch.last`` never fire. With
+        ``churn_rebuild=True`` every event is followed by
+        :meth:`rebuild_structures` — the O(n) from-scratch referee.
+        """
+        self.begin()
+        plan: dict[Chronon, list] = {}
+        if churn is not None:
+            for event in churn:
+                plan.setdefault(event.chronon, []).append(event)
+        pending = plan.pop(0, None)
+        if pending:
+            self._apply_churn(pending, churn_rebuild)
+        for chronon in self.epoch:
+            self.advance(chronon)
+            pending = plan.pop(chronon, None)
+            if pending:
+                self._apply_churn(pending, churn_rebuild)
+        return self.finish()
+
+    def _apply_churn(self, events, rebuild: bool) -> None:
+        for event in events:
+            if event.action == "add":
+                self.add_profile(event.profile)
+            elif event.action == "remove":
+                self.remove_profile(event.profile_id)
+            else:
+                raise ModelError(
+                    f"unknown churn action {event.action!r}")
+            if rebuild:
+                self.rebuild_structures()
+
+    # ------------------------------------------------------------------
+    # Live churn
+    # ------------------------------------------------------------------
+
+    def add_profile(self, profile: Profile) -> int:
+        """Register ``profile`` mid-run; returns its assigned id.
+
+        Ids are handed out sequentially after the initial set's (len of
+        initial profiles, then +1 per add), so callers can predict them.
+        Each t-interval arrives at ``max(earliest_start, clock + 1)``
+        (clamped to the epoch) — the proxy's registration clamp — and
+        its EI events are spliced into the per-chronon queues; an EI
+        whose window already closed before arrival schedules nothing.
+        O(log n + EIs) per profile: only touched resources are dirtied.
+        """
+        if not self._begun:
+            raise ModelError("add_profile() requires begin()/run()")
+        profile_id = self._next_profile_id
+        self._next_profile_id += 1
+        attached = profile.attached(profile_id)
+        self._extra_profiles.append(attached)
+        self._churned = True
+        clock = self._clock
+        last = self.epoch.last
+        rank = attached.rank
+        start_events = self._start_events
+        expiry_events = self._expiry_events
+        states = self._states_by_profile[profile_id]
+        for eta in attached:
+            state = self.state_factory(eta, rank)
+            arrival = min(max(eta.earliest_start, clock + 1), last)
+            fs = _FastState(state, self._seq, arrival)
+            self._seq += 1
+            self._all_states.append(fs)
+            self._fs_by_key[state.key] = fs
+            states.append(fs)
+            for ei in state.eta:
+                fs.medf_sum += ei.finish
+                if ei.finish < arrival:
+                    # Window wholly in the past at registration time:
+                    # never probeable, so no events — the expiry was
+                    # implicitly "processed" before the state existed.
+                    continue
+                start = ei.start
+                if start <= arrival:
+                    start_events[arrival].append((fs, ei))
+                elif start <= last:
+                    start_events[start].append((fs, ei))
+                if ei.finish < last:
+                    expiry_events[ei.finish + 1].append((fs, ei))
+            # Doomed at birth: a deadline already passed before the
+            # state's arrival (possible only for mid-run adds).
+            if state.is_expired(arrival):
+                fs.doomed = True
+        return profile_id
+
+    def remove_profile(self, profile_id: int) -> None:
+        """Cancel a registered profile mid-run.
+
+        Live index entries are retired immediately; the ``removed``
+        marker freezes the states out of future start/expiry events and
+        routes them to the dropped/expired split at :meth:`finish`.
+        Already-complete t-intervals stay captured (the client got the
+        notification), exactly like the proxy's unregister. Idempotent
+        per t-interval. O(log n + touched entries).
+        """
+        if not self._begun:
+            raise ModelError("remove_profile() requires begin()/run()")
+        states = self._states_by_profile.get(profile_id)
+        if states is None:
+            raise ModelError(f"unknown profile id {profile_id!r}")
+        clock = self._clock
+        for fs in states:
+            if fs.removed or fs.state.is_complete:
+                continue
+            # Doom is only *observable* once the state has arrived: a
+            # doomed-at-birth state cancelled before its arrival chronon
+            # was never active, so it counts as dropped (the proxy's
+            # inactive-before-expiry check order).
+            if fs.doomed and fs.arrival <= clock:
+                fs.removed = _REMOVED_EXPIRED
+            else:
+                fs.removed = _REMOVED_DROPPED
+            self._remove_state_entries(fs)
+        self._churned = True
+
+    def rebuild_structures(self) -> None:
+        """From-scratch rebuild of the candidate index and caches.
+
+        The O(n) referee for the incremental churn path: derives the
+        index, selection caches and future event queues directly from
+        primary state (states, captures, dooms, the clock), exactly as a
+        fresh ``begin()`` at this clock would. Property tests assert the
+        incremental structures match this after every churn event.
+        """
+        clock = self._clock
+        last = self.epoch.last
+        sees_doom = self._sees_doom
+        self._index.clear()
+        self._cache.clear()
+        self._cache2.clear()
+        self._dirty.clear()
+        start_events: dict[Chronon, list[tuple[_FastState, object]]] = \
+            defaultdict(list)
+        expiry_events: dict[Chronon, list[tuple[_FastState, object]]] = \
+            defaultdict(list)
+        for fs in self._all_states:
+            if fs.removed:
+                continue
+            state = fs.state
+            arrival = fs.arrival
+            captured = state.captured
+            complete = state.is_complete
+            doomed_out = sees_doom and fs.doomed
+            for ei in state.eta:
+                if captured[ei.ei_id] or ei.finish < arrival:
+                    continue
+                start = ei.start
+                if start <= arrival:
+                    fire = arrival
+                elif start <= last:
+                    fire = start
+                else:
+                    fire = None
+                if fire is not None:
+                    if fire > clock:
+                        start_events[fire].append((fs, ei))
+                    elif (ei.finish >= clock and not complete
+                            and not doomed_out):
+                        self._add_entry(fs, ei)
+                if ei.finish < last and ei.finish + 1 > clock:
+                    expiry_events[ei.finish + 1].append((fs, ei))
+        self._start_events = start_events
+        self._expiry_events = expiry_events
+        self._dirty.update(self._index)
 
     def _prober(self, chronon: Chronon):
         """A prober over the fault injector (always ok without one)."""

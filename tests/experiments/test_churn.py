@@ -3,6 +3,7 @@
 import pytest
 
 from repro.experiments import ChurnConfig, jain_index, run_churn
+from repro.experiments.churn import CHURN_ENGINES, build_churn_workload
 from repro.core import WorkloadError
 
 
@@ -89,3 +90,64 @@ class TestRunChurn:
         assert first.completed == second.completed
         assert [c.notified for c in first.clients] == \
             [c.notified for c in second.clients]
+
+
+class TestChurnEngines:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(WorkloadError):
+            _config(engine="turbo")
+
+    @pytest.mark.parametrize("engine", CHURN_ENGINES)
+    def test_engines_accounting_balances(self, engine):
+        result = run_churn(_config(join_spread=0.6,
+                                   leave_probability=1.0,
+                                   engine=engine))
+        assert result.engine == engine
+        registered = sum(client.registered for client in result.clients)
+        assert registered == (result.completed + result.expired
+                              + result.dropped)
+        assert result.dropped > 0
+
+    def test_incremental_matches_rebuild_exactly(self):
+        fast = run_churn(_config(join_spread=0.7, leave_probability=0.5,
+                                 engine="fast"))
+        rebuild = run_churn(_config(join_spread=0.7,
+                                    leave_probability=0.5,
+                                    engine="rebuild"))
+        assert fast.completed == rebuild.completed
+        assert fast.expired == rebuild.expired
+        assert fast.dropped == rebuild.dropped
+        assert fast.probes_used == rebuild.probes_used
+        assert [c.notified for c in fast.clients] == \
+            [c.notified for c in rebuild.clients]
+        assert [c.left_at for c in fast.clients] == \
+            [c.left_at for c in rebuild.clients]
+
+    def test_engine_matches_reference_proxy(self):
+        # Not contractual (tie-break sequencing could diverge), but on
+        # this scenario the event-indexed engine and the live proxy
+        # agree outcome for outcome — a strong cross-implementation
+        # anchor for the churn plan translation.
+        fast = run_churn(_config(join_spread=0.6, leave_probability=0.5,
+                                 engine="fast"))
+        proxy = run_churn(_config(join_spread=0.6, leave_probability=0.5,
+                                  engine="proxy"))
+        assert fast.completed == proxy.completed
+        assert fast.expired == proxy.expired
+        assert fast.dropped == proxy.dropped
+        assert [c.notified for c in fast.clients] == \
+            [c.notified for c in proxy.clients]
+
+    def test_workload_builder_is_deterministic(self):
+        config = _config(join_spread=0.5, leave_probability=0.5)
+        first = build_churn_workload(config)
+        second = build_churn_workload(config)
+        assert len(first[0]) == len(second[0])
+        assert len(first[1]) == len(second[1])
+        assert first[2].last == second[2].last
+        actions = [(e.chronon, e.action) for e in first[1]]
+        assert actions == [(e.chronon, e.action) for e in second[1]]
+        # Adds ahead of removes; removes only at the leave chronon.
+        removes = [e for e in first[1] if e.action == "remove"]
+        assert all(e.chronon == (3 * config.epoch_length) // 4
+                   for e in removes)
